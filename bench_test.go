@@ -1,0 +1,260 @@
+// Package slimio_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Tables 1-5, Figures 2, 4, 5), plus
+// ablations of SlimIO's three mechanisms (passthru, SQPOLL, FDP) that the
+// paper argues only verbally.
+//
+// Each benchmark runs one full scaled-down experiment per iteration and
+// reports the paper's headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation. Use -short for the tiny scale (quick sanity
+// run); the default small scale preserves the paper's ratios. Absolute
+// numbers are virtual-time measurements on the simulated FEMU-style device
+// and are expected to differ from the paper's testbed; EXPERIMENTS.md
+// records the shape comparison.
+package slimio_test
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+func benchScale(b *testing.B) exp.Scale {
+	// Each experiment simulates a device holding real page bytes; return
+	// the previous experiment's memory to the OS before starting the next.
+	debug.FreeOSMemory()
+	b.Cleanup(debug.FreeOSMemory)
+	if testing.Short() {
+		return exp.TinyScale()
+	}
+	return exp.SmallScale()
+}
+
+// BenchmarkTable1 regenerates Table 1: RPS and peak memory in WAL-only vs
+// Snapshot&WAL phases on EXT4 and F2FS (baseline).
+func BenchmarkTable1(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			tag := r.FS + "_" + map[string]string{"WAL Only": "walonly", "Snapshot&WAL": "snap"}[r.Phase]
+			b.ReportMetric(r.RPS, tag+"_rps")
+			b.ReportMetric(float64(r.MemBytes)/(1<<20), tag+"_memMB")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the filesystem write-path share of
+// the snapshot process (F2FS), Snapshot-Only vs Snapshot&WAL.
+func BenchmarkTable2(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SnapshotOnlyPct, "snaponly_fs_pct")
+		b.ReportMetric(res.SnapshotWALPct, "snapwal_fs_pct")
+	}
+}
+
+// BenchmarkFigure2a regenerates Figure 2a: the snapshot time distribution
+// (in-memory / kernel path / SSD wait) across the three §3.1 scenarios.
+func BenchmarkFigure2a(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := []string{"only", "wal", "gc"}
+		for j, s := range res.Scenarios {
+			b.ReportMetric(s.Duration.Milliseconds(), names[j]+"_total_ms")
+			b.ReportMetric(100*float64(s.KernelPath)/float64(s.Duration), names[j]+"_kernel_pct")
+			b.ReportMetric(100*float64(s.SSDWait)/float64(s.Duration), names[j]+"_ssd_pct")
+		}
+	}
+}
+
+// BenchmarkFigure2b regenerates Figure 2b: snapshot vs WAL vs ideal
+// throughput for the same three scenarios.
+func BenchmarkFigure2b(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := []string{"only", "wal", "gc"}
+		for j, s := range res.Scenarios {
+			b.ReportMetric(s.SnapshotTput/(1<<20), names[j]+"_snap_MBps")
+			b.ReportMetric(s.WALTput/(1<<20), names[j]+"_wal_MBps")
+			b.ReportMetric(s.IdealTput/(1<<20), names[j]+"_ideal_MBps")
+		}
+	}
+}
+
+func reportOverallRow(b *testing.B, prefix string, r *exp.CellResult) {
+	b.ReportMetric(r.WALOnlyRPS, prefix+"_walonly_rps")
+	b.ReportMetric(r.SnapRPS, prefix+"_snap_rps")
+	b.ReportMetric(r.AvgRPS, prefix+"_avg_rps")
+	b.ReportMetric(r.MeanSnapshotTime.Milliseconds(), prefix+"_snaptime_ms")
+	b.ReportMetric(r.SetP999.Milliseconds(), prefix+"_set_p999_ms")
+	b.ReportMetric(r.WAF, prefix+"_waf")
+}
+
+// BenchmarkTable3 regenerates Table 3: the overall redis-benchmark
+// evaluation (both logging policies, baseline vs SlimIO, WAF included).
+func BenchmarkTable3(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			prefix := row.Policy.String() + "_" + row.System
+			reportOverallRow(b, prefix, row.Result)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: the YCSB-A evaluation (GET tails
+// included, no On-Demand snapshots, no GC pressure).
+func BenchmarkTable4(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			prefix := row.Policy.String() + "_" + row.System
+			reportOverallRow(b, prefix, row.Result)
+			b.ReportMetric(row.GetP999.Milliseconds(), prefix+"_get_p999_ms")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: recovery time and throughput from a
+// snapshot, baseline (cold page cache) vs SlimIO (read-ahead reader).
+func BenchmarkTable5(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.RecoveryTime.Milliseconds(), row.System+"_recovery_ms")
+			b.ReportMetric(row.ThroughputBps/(1<<20), row.System+"_tput_MBps")
+		}
+	}
+}
+
+func figWindow() sim.Duration { return 2500 * sim.Millisecond }
+
+// BenchmarkFigure4 regenerates Figure 4: runtime RPS under device GC,
+// baseline vs SlimIO-without-FDP (direct writes nosedive; the page cache
+// absorbs).
+func BenchmarkFigure4(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		base, slim, err := exp.RunFigure4(sc, figWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, ss := base.Summarize(figWindow()/5), slim.Summarize(figWindow()/5)
+		b.ReportMetric(sb.MeanRPS, "baseline_mean_rps")
+		b.ReportMetric(sb.MinRPS, "baseline_min_rps")
+		b.ReportMetric(ss.MeanRPS, "slimio_noFDP_mean_rps")
+		b.ReportMetric(ss.MinRPS, "slimio_noFDP_min_rps")
+		b.ReportMetric(float64(ss.Nosedives), "slimio_noFDP_nosedives")
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: with FDP the runtime RPS holds a
+// stable band; no nosedives.
+func BenchmarkFigure5(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		base, slim, err := exp.RunFigure5(sc, figWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, ss := base.Summarize(figWindow()/5), slim.Summarize(figWindow()/5)
+		b.ReportMetric(sb.MeanRPS, "baseline_mean_rps")
+		b.ReportMetric(ss.MeanRPS, "slimio_fdp_mean_rps")
+		b.ReportMetric(ss.MinRPS, "slimio_fdp_min_rps")
+		b.ReportMetric(float64(ss.Nosedives), "slimio_fdp_nosedives")
+	}
+}
+
+// runAblationCell runs one redis-benchmark cell for an ablation variant.
+func runAblationCell(b *testing.B, kind exp.BackendKind, sc exp.Scale) *exp.CellResult {
+	res, err := exp.RunCell(exp.CellConfig{
+		Kind:           kind,
+		Policy:         imdb.PeriodicalLog,
+		Scale:          sc,
+		Workload:       workload.RedisBench(0, sc.KeyRange),
+		OnDemandPerRep: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.Stack.Eng.Shutdown()
+	res.ReleaseHeavy()
+	return res
+}
+
+// BenchmarkAblation_PassthruOnly isolates the I/O-path mechanism: SlimIO's
+// rings on a conventional (non-FDP) SSD. Syscall relief remains; GC relief
+// is gone (the Figure 4 configuration, summarized as a Table-3-style row).
+func BenchmarkAblation_PassthruOnly(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res := runAblationCell(b, exp.SlimIOConv, sc)
+		reportOverallRow(b, "passthru_only", res)
+	}
+}
+
+// BenchmarkAblation_FDPOnly isolates the placement mechanism: the kernel
+// path on an FDP SSD with an FDP-aware filesystem assigning per-file
+// placement IDs. GC relief remains; syscall relief is gone.
+func BenchmarkAblation_FDPOnly(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res := runAblationCell(b, exp.FDPAwareFS, sc)
+		reportOverallRow(b, "fdp_only", res)
+	}
+}
+
+// BenchmarkAblation_SQPollOff quantifies the SQPOLL share of the win:
+// SlimIO-on-FDP with syscall-mode submission on the Snapshot-Path.
+func BenchmarkAblation_SQPollOff(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res := runAblationCell(b, exp.SlimIONoSQPoll, sc)
+		reportOverallRow(b, "sqpoll_off", res)
+	}
+}
+
+// BenchmarkAblation_SchedulerPriority exercises the §4 argument that
+// sync-priority I/O schedulers deprioritize snapshot writes: baseline F2FS
+// with a sync-priority scheduler instead of 'none'.
+func BenchmarkAblation_SchedulerPriority(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res := runAblationCell(b, exp.BaselineF2FSPrio, sc)
+		reportOverallRow(b, "sched_prio", res)
+	}
+}

@@ -1,0 +1,136 @@
+// Command slimio-bench regenerates the paper's tables and figures at a
+// chosen scale and prints them in the paper's row format.
+//
+// Usage:
+//
+//	slimio-bench -exp all                 # every table and figure, small scale
+//	slimio-bench -exp table3              # one experiment
+//	slimio-bench -exp table3 -scale tiny  # quick run
+//	slimio-bench -exp table3 -device 1024 -ops 200000 -keys 40000
+//
+// Experiments: table1 table2 table3 table4 table5 fig2 fig4 fig5 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment: table1..table5, fig2, fig4, fig5, all")
+		scale   = flag.String("scale", "small", "scale preset: tiny or small")
+		device  = flag.Int64("device", 0, "override device size in MiB")
+		keys    = flag.Int64("keys", 0, "override key range")
+		ops     = flag.Int64("ops", 0, "override operations per repetition")
+		reps    = flag.Int("reps", 0, "override repetitions")
+		trigger = flag.Int64("trigger", 0, "override WAL-snapshot trigger in MiB")
+		window  = flag.Duration("window", 0, "override figure 4/5 window (virtual time)")
+	)
+	flag.Parse()
+
+	sc := exp.SmallScale()
+	if *scale == "tiny" {
+		sc = exp.TinyScale()
+	}
+	if *device > 0 {
+		sc.DeviceBytes = *device << 20
+	}
+	if *keys > 0 {
+		sc.KeyRange = *keys
+	}
+	if *ops > 0 {
+		sc.OpsPerRep = *ops
+	}
+	if *reps > 0 {
+		sc.Reps = *reps
+	}
+	if *trigger > 0 {
+		sc.WALTriggerBytes = *trigger << 20
+	}
+	figWindow := 3 * sim.Second
+	if *window > 0 {
+		figWindow = sim.Duration(window.Nanoseconds())
+	}
+
+	wanted := strings.Split(*expName, ",")
+	has := func(name string) bool {
+		for _, w := range wanted {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if !has(name) {
+			return
+		}
+		t0 := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.String())
+		fmt.Printf("(%s finished in %.1fs wall time)\n\n", name, time.Since(t0).Seconds())
+		// Each experiment holds a full simulated device (real page bytes);
+		// return the memory before building the next one.
+		debug.FreeOSMemory()
+	}
+
+	run("table1", func() (fmt.Stringer, error) { return exp.RunTable1(sc) })
+	run("table2", func() (fmt.Stringer, error) { return exp.RunTable2(sc) })
+	run("fig2", func() (fmt.Stringer, error) { return exp.RunFigure2(sc) })
+	run("table3", func() (fmt.Stringer, error) { return exp.RunTable3(sc) })
+	run("table4", func() (fmt.Stringer, error) { return exp.RunTable4(sc) })
+	run("table5", func() (fmt.Stringer, error) { return exp.RunTable5(sc) })
+	run("fig4", func() (fmt.Stringer, error) { return runFigure(4, sc, figWindow) })
+	run("fig5", func() (fmt.Stringer, error) { return runFigure(5, sc, figWindow) })
+	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
+}
+
+type figureReport struct {
+	name       string
+	base, slim *exp.TimelineResult
+	warmup     sim.Duration
+}
+
+func runFigure(n int, sc exp.Scale, window sim.Duration) (fmt.Stringer, error) {
+	var base, slim *exp.TimelineResult
+	var err error
+	if n == 4 {
+		base, slim, err = exp.RunFigure4(sc, window)
+	} else {
+		base, slim, err = exp.RunFigure5(sc, window)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &figureReport{name: fmt.Sprintf("Figure %d", n), base: base, slim: slim, warmup: window / 5}, nil
+}
+
+func (f *figureReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Runtime RPS summary (use slimio-trace for the full series)\n", f.name)
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %8s %8s\n", "System", "Mean RPS", "Min RPS", "Floor", "Dips", "WAF")
+	for _, tr := range []*exp.TimelineResult{f.base, f.slim} {
+		s := tr.Summarize(f.warmup)
+		floor := 0.0
+		if s.MeanRPS > 0 {
+			floor = s.MinRPS / s.MeanRPS
+		}
+		fmt.Fprintf(&b, "%-16s %12.0f %12.0f %9.0f%% %8d %8.2f\n",
+			tr.Kind, s.MeanRPS, s.MinRPS, 100*floor, s.Nosedives, tr.WAF)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+// Command slimio-inspect runs a short SlimIO scenario and dumps the
+// resulting device and backend state: LBA layout, snapshot slot roles,
+// reclaim-unit occupancy, per-PID write volumes, and the GC/reclaim log —
+// the observability a storage engineer would want from the real system.
+//
+// Usage:
+//
+//	slimio-inspect                  # SlimIO on FDP, tiny scenario
+//	slimio-inspect -kind slimio-noFDP
+//	slimio-inspect -scale small -ops 30000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/fdp"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+func main() {
+	var (
+		kindName = flag.String("kind", "slimio-fdp", "stack: slimio-fdp or slimio-noFDP")
+		scale    = flag.String("scale", "tiny", "scale preset: tiny or small")
+		ops      = flag.Int64("ops", 0, "override operations")
+	)
+	flag.Parse()
+
+	sc := exp.TinyScale()
+	if *scale == "small" {
+		sc = exp.SmallScale()
+	}
+	if *ops > 0 {
+		sc.OpsPerRep = *ops
+	}
+	kind := exp.SlimIOFDP
+	if *kindName == "slimio-noFDP" {
+		kind = exp.SlimIOConv
+	}
+
+	res, err := exp.RunCell(exp.CellConfig{
+		Kind:           kind,
+		Policy:         imdb.PeriodicalLog,
+		Scale:          sc,
+		Workload:       workload.RedisBench(0, sc.KeyRange),
+		OnDemandPerRep: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== run ==\n")
+	fmt.Printf("stack          %s (%s)\n", kind, sc.Name)
+	fmt.Printf("duration       %v (virtual)\n", res.Duration)
+	fmt.Printf("avg RPS        %.0f\n", res.AvgRPS)
+	fmt.Printf("snapshots      %d (mean %v)\n", len(res.Snapshots), res.MeanSnapshotTime)
+	fmt.Printf("SET p99.9      %v\n", res.SetP999)
+
+	slim := res.Stack.Slim
+	fmt.Printf("\n== SlimIO backend ==\n")
+	st := slim.Stats()
+	fmt.Printf("WAL page writes     %d (+%d tail rewrites)\n", st.WALPageWrites, st.WALTailRewrites)
+	fmt.Printf("snapshot pages      %d\n", st.SnapshotPageWrites)
+	fmt.Printf("metadata writes     %d\n", st.MetadataWrites)
+	fmt.Printf("promotions          %d\n", st.Promotions)
+	fmt.Printf("WAL resets          %d\n", st.WALResets)
+	fmt.Printf("deallocated pages   %d\n", st.DeallocatedPages)
+	fmt.Printf("\nsnapshot slots:\n")
+	for _, s := range slim.Slots() {
+		fmt.Printf("  slot %d  %-13s start=%-8d pages=%-7d used=%d bytes\n",
+			s.Index, s.Role, s.Start, s.Pages, s.Used)
+	}
+
+	dev := res.Stack.Dev
+	d := dev.Stats()
+	fmt.Printf("\n== device ==\n")
+	fmt.Printf("host writes    %d pages\n", d.HostWritePages)
+	fmt.Printf("nand writes    %d pages\n", d.NANDWritePages)
+	fmt.Printf("GC copies      %d pages\n", d.GCCopiedPages)
+	fmt.Printf("GC runs        %d (busy %v)\n", d.GCRuns, d.GCBusy)
+	fmt.Printf("WAF            %.4f\n", d.WAF())
+
+	switch f := dev.FTL().(type) {
+	case *fdp.FTL:
+		printFDP(f.Stats(), f)
+		printWear(f.Array().Wear())
+	case *fdp.Conventional:
+		fmt.Printf("\n== conventional FTL (line-based, single stream) ==\n")
+		printUsage(f.Usage())
+		printWear(f.Array().Wear())
+	}
+}
+
+func printWear(w nand.WearStats) {
+	fmt.Printf("\n== wear ==\n")
+	fmt.Printf("block erases   min=%d max=%d mean=%.2f total=%d\n",
+		w.MinErases, w.MaxErases, w.MeanErases, w.TotalErases)
+}
+
+func printFDP(st fdp.Stats, f *fdp.FTL) {
+	fmt.Printf("\n== FDP FTL ==\n")
+	fmt.Printf("RUs reclaimed  %d (%d without any copy)\n", st.RUsReclaimed, st.RUsReclaimedEmpty)
+	fmt.Printf("writes by PID:\n")
+	for pid := uint32(0); pid < 8; pid++ {
+		if n := st.HostWritesByPID[pid]; n > 0 {
+			fmt.Printf("  PID %d: %d pages\n", pid, n)
+		}
+	}
+	printUsage(f.Usage())
+}
+
+func printUsage(usage []fdp.RUUsage) {
+	var free, open, closed int
+	for _, u := range usage {
+		switch u.State {
+		case "free":
+			free++
+		case "open":
+			open++
+		default:
+			closed++
+		}
+	}
+	fmt.Printf("reclaim units: %d free, %d open, %d closed\n", free, open, closed)
+	fmt.Printf("non-free units (valid/total pages):\n")
+	for _, u := range usage {
+		if u.State == "free" {
+			continue
+		}
+		fmt.Printf("  RU %3d %-6s pid=%d %5d/%d\n", u.ID, u.State, u.PID, u.Valid, u.Total)
+	}
+}

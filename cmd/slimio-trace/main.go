@@ -1,0 +1,72 @@
+// Command slimio-trace emits the runtime-RPS timelines of Figures 4 and 5
+// as CSV (one file per system, or stdout), ready for plotting.
+//
+// Usage:
+//
+//	slimio-trace -fig 4                 # baseline + slimio-noFDP under GC
+//	slimio-trace -fig 5                 # baseline + slimio-fdp
+//	slimio-trace -fig 4 -out results/   # write CSV files instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 4, "figure to regenerate: 4 or 5")
+		scale  = flag.String("scale", "small", "scale preset: tiny or small")
+		outDir = flag.String("out", "", "directory for CSV output (default: stdout)")
+		window = flag.Duration("window", 3*time.Second, "virtual observation window")
+	)
+	flag.Parse()
+
+	sc := exp.SmallScale()
+	if *scale == "tiny" {
+		sc = exp.TinyScale()
+	}
+	w := sim.Duration(window.Nanoseconds())
+
+	var base, slim *exp.TimelineResult
+	var err error
+	switch *fig {
+	case 4:
+		base, slim, err = exp.RunFigure4(sc, w)
+	case 5:
+		base, slim, err = exp.RunFigure5(sc, w)
+	default:
+		fmt.Fprintln(os.Stderr, "figure must be 4 or 5")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	emit := func(tr *exp.TimelineResult) {
+		csv := tr.Series.CSV()
+		if *outDir == "" {
+			fmt.Printf("# figure %d: %s (WAF %.2f, %d GC runs)\n%s\n", *fig, tr.Kind, tr.WAF, tr.GCRuns, csv)
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("fig%d-%s.csv", *fig, tr.Kind))
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (WAF %.2f, %d GC runs)\n", path, tr.WAF, tr.GCRuns)
+	}
+	emit(base)
+	emit(slim)
+}

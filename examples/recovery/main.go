@@ -1,0 +1,95 @@
+// Recovery: write a dataset through SlimIO, take snapshots, keep writing,
+// then simulate a crash by attaching a brand-new backend to the same device
+// and running the §4.2 recovery procedure — metadata scan, snapshot load,
+// WAL replay — and verify the dataset byte for byte.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/slimio/slimio/internal/core"
+	"github.com/slimio/slimio/internal/fdp"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+)
+
+func main() {
+	arr, err := nand.New(nand.DefaultGeometry(64<<20), nand.DefaultLatencies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ftl, err := fdp.New(arr, fdp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := ssd.New(ftl, ssd.Config{})
+
+	// --- Phase 1: a life before the crash. ---
+	eng := sim.NewEngine()
+	backend, err := core.New(eng, dev, core.Config{SlotPages: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := imdb.New(eng, backend, imdb.Config{
+		Policy:             imdb.PeriodicalLog,
+		WALSnapshotTrigger: 32 << 10, // WAL-snapshot every 32 KiB of log
+	}, nil)
+	db.Start()
+
+	expected := map[string][]byte{}
+	eng.Spawn("life", func(env *sim.Env) {
+		for i := 0; i < 3000; i++ {
+			k := fmt.Sprintf("acct:%05d", i%500)
+			v := []byte(fmt.Sprintf("balance=%d;nonce=%d", i*13, i))
+			expected[k] = v
+			if err := db.Set(env, k, v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		db.Shutdown(env) // clean shutdown: final flush + sync
+	})
+	eng.Run()
+	st := db.Stats()
+	fmt.Printf("before crash: %d keys, %d snapshots, WAL flushes %d\n",
+		db.Store().Len(), len(st.Snapshots), st.WALFlushes)
+	for _, s := range backend.Slots() {
+		fmt.Printf("  slot %d: %-12s %6.1f KiB\n", s.Index, s.Role, float64(s.Used)/1024)
+	}
+
+	// --- Phase 2: the process dies; a new one attaches to the device. ---
+	eng2 := sim.NewEngine()
+	backend2, err := core.New(eng2, dev, core.Config{SlotPages: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db2 := imdb.New(eng2, backend2, imdb.Config{}, nil)
+	eng2.Spawn("recover", func(env *sim.Env) {
+		t0 := env.Now()
+		entries, walRecs, err := db2.Recover(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecovered %d snapshot entries + %d WAL records in %v (virtual)\n",
+			entries, walRecs, env.Now().Sub(t0))
+	})
+	eng2.Run()
+
+	// --- Phase 3: verify. ---
+	mismatches := 0
+	for k, v := range expected {
+		if got := db2.Store().Get(k); !bytes.Equal(got, v) {
+			mismatches++
+		}
+	}
+	fmt.Printf("verification: %d keys checked, %d mismatches\n", len(expected), mismatches)
+	if mismatches > 0 || db2.Store().Len() != len(expected) {
+		log.Fatal("recovery verification FAILED")
+	}
+	fmt.Println("recovery verification OK")
+}

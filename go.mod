@@ -1,0 +1,3 @@
+module github.com/slimio/slimio
+
+go 1.22

@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/slimio/slimio/internal/ftl"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/kernelio"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/wal"
+)
+
+type rig struct {
+	eng *sim.Engine
+	dev *ssd.Device
+	fs  *kernelio.Filesystem
+	be  *Backend
+}
+
+func newRig(t *testing.T, prof kernelio.Profile) *rig {
+	t.Helper()
+	geo := nand.Geometry{Channels: 2, DiesPerChannel: 2, BlocksPerDie: 48, PagesPerBlock: 16, PageSize: 512}
+	arr, err := nand.New(geo, nand.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	dev := ssd.New(ftl.New(arr, ftl.Config{}), ssd.Config{})
+	fs := kernelio.NewFilesystem(eng, dev, prof, kernelio.SchedNone, kernelio.DefaultCosts())
+	be, err := New(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, dev: dev, fs: fs, be: be}
+}
+
+func (r *rig) run(t *testing.T, fn func(env *sim.Env)) {
+	t.Helper()
+	r.eng.Spawn("test", fn)
+	r.eng.Run()
+}
+
+func TestWALAppendSyncRecover(t *testing.T) {
+	r := newRig(t, kernelio.F2FS())
+	r.run(t, func(env *sim.Env) {
+		var stream []byte
+		for i := 0; i < 20; i++ {
+			stream = wal.AppendRecord(stream[:0], wal.OpSet, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("v"), 100))
+			if err := r.be.WALAppend(env, stream); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := r.be.WALSync(env); err != nil {
+			t.Error(err)
+			return
+		}
+		rec, err := r.be.Recover(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var recs int
+		for _, seg := range rec.WALSegments {
+			rs, _ := wal.DecodeAll(seg)
+			recs += len(rs)
+		}
+		if recs != 20 {
+			t.Errorf("recovered %d records", recs)
+		}
+		if rec.HaveSnapshot {
+			t.Error("phantom snapshot")
+		}
+	})
+}
+
+func TestSnapshotCommitRename(t *testing.T) {
+	r := newRig(t, kernelio.EXT4())
+	img := bytes.Repeat([]byte("IMG"), 2000)
+	r.run(t, func(env *sim.Env) {
+		sink, err := r.be.BeginSnapshot(env, imdb.WALSnapshot)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sink.Write(env, img); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sink.Commit(env); err != nil {
+			t.Error(err)
+			return
+		}
+		if !r.fs.Exists("dump-wal.rdb") {
+			t.Error("snapshot not renamed into place")
+		}
+		rec, err := r.be.Recover(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !rec.HaveSnapshot || !bytes.Equal(rec.Snapshot, img) {
+			t.Error("snapshot image corrupted")
+		}
+	})
+}
+
+func TestSnapshotReplacesPrevious(t *testing.T) {
+	r := newRig(t, kernelio.F2FS())
+	r.run(t, func(env *sim.Env) {
+		for round := 0; round < 3; round++ {
+			sink, err := r.be.BeginSnapshot(env, imdb.WALSnapshot)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			img := bytes.Repeat([]byte{byte('0' + round)}, 1500)
+			if err := sink.Write(env, img); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := sink.Commit(env); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		rec, err := r.be.Recover(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rec.Snapshot[0] != '2' {
+			t.Errorf("latest snapshot not recovered: %c", rec.Snapshot[0])
+		}
+	})
+}
+
+func TestAbortRemovesTemp(t *testing.T) {
+	r := newRig(t, kernelio.F2FS())
+	r.run(t, func(env *sim.Env) {
+		sink, _ := r.be.BeginSnapshot(env, imdb.OnDemandSnapshot)
+		if err := sink.Write(env, []byte("partial")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sink.Abort(env); err != nil {
+			t.Error(err)
+			return
+		}
+		rec, _ := r.be.Recover(env)
+		if rec.HaveSnapshot {
+			t.Error("aborted snapshot recovered")
+		}
+	})
+}
+
+func TestWALRotateAndDiscard(t *testing.T) {
+	r := newRig(t, kernelio.F2FS())
+	r.run(t, func(env *sim.Env) {
+		if err := r.be.WALAppend(env, bytes.Repeat([]byte("x"), 5000)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.be.WALSync(env); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.be.WALRotate(env); err != nil {
+			t.Error(err)
+			return
+		}
+		if r.be.WALDurableSize() != 0 {
+			t.Error("new segment not empty")
+		}
+		if err := r.be.WALAppend(env, bytes.Repeat([]byte("y"), 100)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Both segments recoverable before the discard.
+		rec, err := r.be.Recover(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(rec.WALSegments) != 2 || len(rec.WALSegments[0]) != 5000 {
+			t.Errorf("segments = %d", len(rec.WALSegments))
+			return
+		}
+		if err := r.be.WALDiscardOld(env); err != nil {
+			t.Error(err)
+			return
+		}
+		rec, err = r.be.Recover(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(rec.WALSegments) != 1 || len(rec.WALSegments[0]) != 100 {
+			t.Errorf("post-discard segments wrong: %d", len(rec.WALSegments))
+		}
+	})
+}
+
+func TestEndToEndEngineRecovery(t *testing.T) {
+	r := newRig(t, kernelio.EXT4())
+	db := imdb.New(r.eng, r.be, imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 32 << 10}, nil)
+	db.Start()
+	final := map[string]string{}
+	r.eng.Spawn("client", func(env *sim.Env) {
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("key%03d", i%60)
+			v := fmt.Sprintf("val-%d-%s", i, bytes.Repeat([]byte("p"), 120))
+			final[k] = v
+			if err := db.Set(env, k, []byte(v)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		db.Shutdown(env)
+	})
+	r.eng.Run()
+	if len(db.Stats().Snapshots) == 0 {
+		t.Fatal("no WAL-snapshot triggered")
+	}
+	db2 := imdb.New(r.eng, r.be, imdb.Config{}, nil)
+	r.eng.Spawn("recover", func(env *sim.Env) {
+		r.fs.DropCaches()
+		if _, _, err := db2.Recover(env); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if db2.Store().Len() != len(final) {
+		t.Fatalf("recovered %d keys, want %d", db2.Store().Len(), len(final))
+	}
+	for k, v := range final {
+		if got := db2.Store().Get(k); string(got) != v {
+			t.Fatalf("key %s mismatch", k)
+		}
+	}
+}
+
+func TestLabelIncludesFilesystem(t *testing.T) {
+	r := newRig(t, kernelio.EXT4())
+	if r.be.Label() != "baseline/ext4" {
+		t.Fatalf("label = %q", r.be.Label())
+	}
+}

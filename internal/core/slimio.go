@@ -1,0 +1,614 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/uring"
+	"github.com/slimio/slimio/internal/wal"
+)
+
+// Backend is the SlimIO persistence backend. It satisfies imdb.Backend.
+type Backend struct {
+	eng      *sim.Engine
+	dev      *ssd.Device
+	cfg      Config
+	lay      layout
+	pageSize int64
+
+	walRing *uring.Ring
+
+	meta       metaRecord
+	metaCursor int64
+
+	// Current (open) segment state. The segment begins at curHead(), right
+	// after the sealed segments recorded in the metadata segment table.
+	walBytes      int64 // bytes appended to the open segment, tail included
+	walFullPages  int64 // complete pages written to the device
+	walTail       []byte
+	walTailSynced int // tail bytes already on the device
+
+	// outstanding holds completion signals of in-flight async WAL writes;
+	// WALSync reaps them (the paper's dedicated CQ-handling thread keeps
+	// the main process from ever blocking on individual submissions). The
+	// set is bounded by Config.MaxWALInflight: when the device falls behind
+	// (e.g. garbage collection on a non-FDP drive), the writer blocks on
+	// the oldest completion — the direct-write exposure of Figure 4.
+	outstanding []*sim.Signal
+
+	snapGen int
+	stats   Stats
+}
+
+var _ imdb.Backend = (*Backend)(nil)
+
+// New formats dev with the SlimIO layout and returns a ready backend. All
+// prior content of the LBA space is ignored (mkfs semantics).
+func New(eng *sim.Engine, dev *ssd.Device, cfg Config) (*Backend, error) {
+	cfg.fillDefaults(dev.Capacity())
+	lay, err := computeLayout(dev.Capacity(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		eng:      eng,
+		dev:      dev,
+		cfg:      cfg,
+		lay:      lay,
+		pageSize: int64(dev.PageSize()),
+		walRing:  uring.NewRing(eng, dev, "wal-path", cfg.WALRing),
+	}
+	return b, nil
+}
+
+// Label names the backend for reports.
+func (b *Backend) Label() string { return "slimio" }
+
+// Stats returns cumulative backend counters.
+func (b *Backend) Stats() Stats { return b.stats }
+
+// Device exposes the device below (for FTL stats).
+func (b *Backend) Device() *ssd.Device { return b.dev }
+
+// WALRing exposes the WAL-Path ring (for stats).
+func (b *Backend) WALRing() *uring.Ring { return b.walRing }
+
+// Slots reports the snapshot slot states for inspection.
+func (b *Backend) Slots() []SlotInfo {
+	out := make([]SlotInfo, 3)
+	for i := 0; i < 3; i++ {
+		out[i] = SlotInfo{
+			Index: i,
+			Role:  b.meta.slotRoles[i].String(),
+			Start: b.lay.slotStart[i],
+			Pages: b.lay.slotPages,
+			Used:  b.meta.slotBytes[i],
+		}
+	}
+	return out
+}
+
+// writeMeta persists the current metadata record through ring as one atomic
+// page write into the cyclic metadata region.
+func (b *Backend) writeMeta(env *sim.Env, ring *uring.Ring) error {
+	b.meta.seq++
+	lpa := b.lay.metaStart + b.metaCursor%b.lay.metaPages
+	b.metaCursor++
+	b.stats.MetadataWrites++
+	return ring.Write(env, lpa, [][]byte{b.meta.encode()}, PIDMetadata)
+}
+
+// sealedPages is the total page count of all sealed segments.
+func (b *Backend) sealedPages() int64 {
+	var p int64
+	for _, l := range b.meta.sealedLens {
+		p += pagesNeeded(l, b.pageSize)
+	}
+	return p
+}
+
+// curHead is the ring offset (pages) where the current open segment begins.
+func (b *Backend) curHead() int64 {
+	return (b.meta.walHead + b.sealedPages()) % b.lay.walPages
+}
+
+// walLPA maps a page offset within the open segment to a device LPA.
+func (b *Backend) walLPA(pageOff int64) int64 {
+	return b.lay.walStart + (b.curHead()+pageOff)%b.lay.walPages
+}
+
+// WALAppend writes log bytes at the open segment's tail through the
+// WAL-Path. Complete pages are submitted asynchronously (reaped by WALSync
+// or when the in-flight bound is hit); the partial tail stays buffered until
+// WALSync. Passthru writes are durable on completion — there is no page
+// cache to flush behind them.
+func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	needed := b.sealedPages() + (b.walBytes+int64(len(data))+b.pageSize-1)/b.pageSize
+	if needed > b.lay.walPages {
+		return fmt.Errorf("core: WAL region full (%d pages)", b.lay.walPages)
+	}
+	b.walTail = append(b.walTail, data...)
+	b.walBytes += int64(len(data))
+
+	// Bounded submission: reap oldest completions when too many commands
+	// are in flight.
+	for len(b.outstanding) > b.cfg.MaxWALInflight {
+		sig := b.outstanding[0]
+		b.outstanding = b.outstanding[1:]
+		if cqe := sig.Wait(env).(*uring.CQE); cqe.Err != nil {
+			return cqe.Err
+		}
+	}
+
+	full := int64(len(b.walTail)) / b.pageSize
+	if full == 0 {
+		return nil
+	}
+	pageBuf := b.walTail[:full*b.pageSize]
+	rest := append([]byte(nil), b.walTail[full*b.pageSize:]...)
+	written := int64(0)
+	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, b.curHead()+b.walFullPages, full) {
+		pages := make([][]byte, run.n)
+		for i := int64(0); i < run.n; i++ {
+			off := (written + i) * b.pageSize
+			pages[i] = pageBuf[off : off+b.pageSize]
+		}
+		sig := b.walRing.WriteAsync(env, run.start, pages, PIDWAL)
+		b.outstanding = append(b.outstanding, sig)
+		written += run.n
+	}
+	b.walFullPages += full
+	b.stats.WALPageWrites += full
+	b.walTail = rest
+	b.walTailSynced = 0
+	return nil
+}
+
+// WALSync submits the partial tail page (if any un-synced bytes exist) and
+// reaps every outstanding WAL write completion, after which all appended
+// bytes are durable. Safe to run from a background process concurrently
+// with further WALAppend calls: it takes ownership of the current
+// outstanding set, and later appends accumulate into a fresh one.
+func (b *Backend) WALSync(env *sim.Env) error {
+	if len(b.walTail) > 0 && b.walTailSynced != len(b.walTail) {
+		lpa := b.walLPA(b.walFullPages)
+		tail := append([]byte(nil), b.walTail...)
+		b.outstanding = append(b.outstanding, b.walRing.WriteAsync(env, lpa, [][]byte{tail}, PIDWAL))
+		b.walTailSynced = len(b.walTail)
+		b.stats.WALTailRewrites++
+	}
+	pending := b.outstanding
+	b.outstanding = nil
+	var firstErr error
+	for _, sig := range pending {
+		if cqe := sig.Wait(env).(*uring.CQE); cqe.Err != nil && firstErr == nil {
+			firstErr = cqe.Err
+		}
+	}
+	return firstErr
+}
+
+// WALDurableSize reports bytes appended to the open segment.
+func (b *Backend) WALDurableSize() int64 { return b.walBytes }
+
+// WALRotate seals the open segment into the metadata segment table and
+// opens a new one immediately after it in the ring — the fork-point log
+// rotation of a WAL-Snapshot. Costs one metadata page write.
+func (b *Backend) WALRotate(env *sim.Env) error {
+	if b.walBytes == 0 {
+		return nil // empty segment: nothing to seal
+	}
+	if b.meta.sealedCount() == maxSealedSegments {
+		return fmt.Errorf("core: too many sealed WAL segments (%d)", maxSealedSegments)
+	}
+	for i := range b.meta.sealedLens {
+		if b.meta.sealedLens[i] == 0 {
+			b.meta.sealedLens[i] = b.walBytes
+			break
+		}
+	}
+	b.walBytes = 0
+	b.walFullPages = 0
+	b.walTail = nil
+	b.walTailSynced = 0
+	b.stats.WALRotations++
+	return b.writeMeta(env, b.walRing)
+}
+
+// WALDiscardOld deallocates every sealed segment and advances the ring head
+// past them — called once a WAL-Snapshot commit made the old log obsolete.
+// The TRIM is what lets an FDP device reclaim the WAL's reclaim units
+// without copying (§4.3).
+func (b *Backend) WALDiscardOld(env *sim.Env) error {
+	used := b.sealedPages()
+	if used == 0 {
+		return nil
+	}
+	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, b.meta.walHead, used) {
+		if err := b.walRing.Deallocate(env, run.start, run.n); err != nil {
+			return err
+		}
+		b.stats.DeallocatedPages += run.n
+	}
+	b.meta.walHead = (b.meta.walHead + used) % b.lay.walPages
+	b.meta.sealedLens = [maxSealedSegments]int64{}
+	b.meta.walGen++
+	b.stats.WALResets++
+	return b.writeMeta(env, b.walRing)
+}
+
+// slotSink streams a snapshot image into the Reserve slot via a dedicated
+// Snapshot-Path ring.
+type slotSink struct {
+	be          *Backend
+	ring        *uring.Ring
+	kind        imdb.SnapshotKind
+	slot        int
+	off         int64 // bytes written
+	tail        []byte
+	outstanding []*sim.Signal
+}
+
+// reap waits out all in-flight slot writes.
+func (s *slotSink) reap(env *sim.Env) error {
+	var firstErr error
+	for _, sig := range s.outstanding {
+		if cqe := sig.Wait(env).(*uring.CQE); cqe.Err != nil && firstErr == nil {
+			firstErr = cqe.Err
+		}
+	}
+	s.outstanding = s.outstanding[:0]
+	return firstErr
+}
+
+func (s *slotSink) Write(env *sim.Env, chunk []byte) error {
+	b := s.be
+	if (s.off+int64(len(chunk))+b.pageSize-1)/b.pageSize > b.lay.slotPages {
+		return fmt.Errorf("core: snapshot exceeds slot size (%d pages)", b.lay.slotPages)
+	}
+	s.tail = append(s.tail, chunk...)
+	full := int64(len(s.tail)) / b.pageSize
+	if full == 0 {
+		s.off += int64(len(chunk))
+		return nil
+	}
+	pageBuf := s.tail[:full*b.pageSize]
+	rest := append([]byte(nil), s.tail[full*b.pageSize:]...)
+	startPage := (s.off - int64(len(s.tail)-len(chunk))) / b.pageSize
+	pages := make([][]byte, full)
+	for i := int64(0); i < full; i++ {
+		pages[i] = pageBuf[i*b.pageSize : (i+1)*b.pageSize]
+	}
+	// Submit asynchronously: the SQPOLL poller dispatches while the
+	// snapshot process compresses the next chunk, overlapping CPU and
+	// device time (§4.1).
+	s.outstanding = append(s.outstanding, s.ring.WriteAsync(env, b.lay.slotStart[s.slot]+startPage, pages, s.pid()))
+	b.stats.SnapshotPageWrites += full
+	s.tail = rest
+	s.off += int64(len(chunk))
+	return nil
+}
+
+func (s *slotSink) pid() uint32 {
+	if s.kind == imdb.OnDemandSnapshot {
+		return PIDOnDemand
+	}
+	return PIDWALSnapshot
+}
+
+// Commit flushes the tail, promotes the Reserve slot to its kind with one
+// atomic metadata write, and deallocates the superseded image.
+func (s *slotSink) Commit(env *sim.Env) error {
+	b := s.be
+	if len(s.tail) > 0 {
+		lpa := b.lay.slotStart[s.slot] + (s.off-int64(len(s.tail)))/b.pageSize
+		s.outstanding = append(s.outstanding, s.ring.WriteAsync(env, lpa, [][]byte{s.tail}, s.pid()))
+		b.stats.SnapshotPageWrites++
+		s.tail = nil
+	}
+	// The image must be fully durable before the promotion record points
+	// at it.
+	if err := s.reap(env); err != nil {
+		return err
+	}
+	target := roleWALSnap
+	if s.kind == imdb.OnDemandSnapshot {
+		target = roleOnDemand
+	}
+	oldSlot := -1
+	for i := 0; i < 3; i++ {
+		if b.meta.slotRoles[i] == target {
+			oldSlot = i
+			break
+		}
+	}
+	b.meta.slotRoles[s.slot] = target
+	b.meta.slotBytes[s.slot] = s.off
+	var oldBytes int64
+	if oldSlot >= 0 {
+		oldBytes = b.meta.slotBytes[oldSlot]
+		b.meta.slotRoles[oldSlot] = roleReserve
+		b.meta.slotBytes[oldSlot] = 0
+	}
+	if err := b.writeMeta(env, s.ring); err != nil {
+		return err
+	}
+	b.stats.Promotions++
+	if oldSlot >= 0 && oldBytes > 0 {
+		n := pagesNeeded(oldBytes, b.pageSize)
+		if err := s.ring.Deallocate(env, b.lay.slotStart[oldSlot], n); err != nil {
+			return err
+		}
+		b.stats.DeallocatedPages += n
+	}
+	return nil
+}
+
+// Abort discards the partial image, returning the slot to Reserve duty.
+func (s *slotSink) Abort(env *sim.Env) error {
+	b := s.be
+	_ = s.reap(env) // drain in-flight writes before trimming under them
+	n := pagesNeeded(s.off-int64(len(s.tail)), b.pageSize)
+	if n == 0 {
+		return nil
+	}
+	err := s.ring.Deallocate(env, b.lay.slotStart[s.slot], n)
+	if err == nil {
+		b.stats.DeallocatedPages += n
+	}
+	return err
+}
+
+// BeginSnapshot picks the Reserve slot and opens a fresh SQPOLL
+// Snapshot-Path ring owned by the calling (snapshot) process.
+func (b *Backend) BeginSnapshot(env *sim.Env, kind imdb.SnapshotKind) (imdb.SnapshotSink, error) {
+	slot := -1
+	for i := 0; i < 3; i++ {
+		if b.meta.slotRoles[i] == roleReserve {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, fmt.Errorf("core: no Reserve slot available")
+	}
+	b.snapGen++
+	ring := uring.NewRing(b.eng, b.dev, fmt.Sprintf("snapshot-path-%d", b.snapGen), b.cfg.SnapshotRing)
+	return &slotSink{be: b, ring: ring, kind: kind, slot: slot}, nil
+}
+
+// Recover implements §4.2's procedure: scan the metadata region for the
+// newest valid record, load the preferred snapshot image (the WAL-coupled
+// one) through the read-ahead reader, and scan the WAL segments for the
+// record stream. It also restores the backend's in-memory tail state so
+// appends can continue.
+func (b *Backend) Recover(env *sim.Env) (*imdb.Recovered, error) {
+	return b.recover(env, nil)
+}
+
+// RecoverFrom restores from a specific snapshot kind — the paper's "either
+// the WAL-Snapshot or On-Demand-Snapshot is loaded ... as requested". An
+// On-Demand restore still replays the log segments on top (they are a
+// superset of the changes since either image).
+func (b *Backend) RecoverFrom(env *sim.Env, kind imdb.SnapshotKind) (*imdb.Recovered, error) {
+	return b.recover(env, &kind)
+}
+
+func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovered, error) {
+	// 1. Metadata: newest valid record wins.
+	var newest *metaRecord
+	var newestIdx int64 = -1
+	for i := int64(0); i < b.lay.metaPages; i++ {
+		pages, err := b.walRing.Read(env, b.lay.metaStart+i, 1)
+		if err != nil {
+			continue // unwritten page
+		}
+		rec, err := decodeMetaRecord(pages[0])
+		if err != nil {
+			continue
+		}
+		if newest == nil || rec.seq > newest.seq {
+			newest, newestIdx = rec, i
+		}
+	}
+	out := &imdb.Recovered{}
+	if newest != nil {
+		b.meta = *newest
+		b.metaCursor = newestIdx + 1
+	}
+	// With no metadata record yet (format-fresh device that never rotated
+	// or committed a snapshot), the zero-value state is correct: WAL head
+	// at 0, no sealed segments, all slots Reserve — so the scans below
+	// still run.
+
+	// 2. Snapshot: the requested kind, or (by default) the WAL-coupled
+	// image first.
+	find := func(role slotRole, kind imdb.SnapshotKind) int {
+		for i := 0; i < 3; i++ {
+			if b.meta.slotRoles[i] == role && b.meta.slotBytes[i] > 0 {
+				out.Kind = kind
+				return i
+			}
+		}
+		return -1
+	}
+	slot := -1
+	switch {
+	case want != nil && *want == imdb.OnDemandSnapshot:
+		slot = find(roleOnDemand, imdb.OnDemandSnapshot)
+	case want != nil:
+		slot = find(roleWALSnap, imdb.WALSnapshot)
+	default:
+		if slot = find(roleWALSnap, imdb.WALSnapshot); slot < 0 {
+			slot = find(roleOnDemand, imdb.OnDemandSnapshot)
+		}
+	}
+	if slot >= 0 {
+		img, err := b.readSequential(env, b.lay.slotStart[slot], pagesNeeded(b.meta.slotBytes[slot], b.pageSize))
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot read: %w", err)
+		}
+		if int64(len(img)) > b.meta.slotBytes[slot] {
+			img = img[:b.meta.slotBytes[slot]]
+		}
+		out.HaveSnapshot = true
+		out.Snapshot = img
+	}
+
+	// 3. Sealed segments: exact lengths come from the segment table.
+	segOff := b.meta.walHead
+	for _, segLen := range b.meta.sealedLens {
+		if segLen == 0 {
+			continue
+		}
+		segPages := pagesNeeded(segLen, b.pageSize)
+		seg, err := b.readRingPages(env, segOff, segPages)
+		if err != nil {
+			return nil, fmt.Errorf("core: sealed segment read: %w", err)
+		}
+		if int64(len(seg)) > segLen {
+			seg = seg[:segLen]
+		}
+		out.WALSegments = append(out.WALSegments, seg)
+		segOff = (segOff + segPages) % b.lay.walPages
+	}
+
+	// 4. Open segment: read forward from its head until the first
+	// unwritten page; the CRC framing then finds the valid prefix.
+	openRaw, err := b.readWALRaw(env, segOff)
+	if err != nil {
+		return nil, err
+	}
+	out.WALSegments = append(out.WALSegments, openRaw)
+
+	// 5. Restore append state: continue after the last whole record of the
+	// open segment.
+	recs, _ := wal.DecodeAll(openRaw)
+	var consumed int64
+	for _, r := range recs {
+		consumed += int64(wal.EncodedSize(r.Key, r.Value))
+	}
+	b.walBytes = consumed
+	b.walFullPages = consumed / b.pageSize
+	if rem := consumed % b.pageSize; rem > 0 {
+		b.walTail = append([]byte(nil), openRaw[consumed-rem:consumed]...)
+	} else {
+		b.walTail = nil
+	}
+	b.walTailSynced = 0
+	return out, nil
+}
+
+// readWALRaw reads WAL-region pages sequentially from ring offset start
+// (with read-ahead) until an unwritten page or the region end.
+func (b *Backend) readWALRaw(env *sim.Env, start int64) ([]byte, error) {
+	var out []byte
+	ra := b.cfg.RecoveryReadAhead
+	remaining := b.lay.walPages - b.sealedPages()
+	for off := int64(0); off < remaining; {
+		n := ra
+		if off+n > remaining {
+			n = remaining - off
+		}
+		runs := splitWrap(b.lay.walStart, b.lay.walPages, start+off, n)
+		stop := false
+		for _, run := range runs {
+			data, err := b.walRing.Read(env, run.start, run.n)
+			if err != nil {
+				// Probe page by page to find the exact end.
+				for i := int64(0); i < run.n; i++ {
+					pg, perr := b.walRing.Read(env, run.start+i, 1)
+					if perr != nil {
+						stop = true
+						break
+					}
+					out = appendPage(out, pg[0], b.pageSize)
+				}
+			} else {
+				for _, pg := range data {
+					out = appendPage(out, pg, b.pageSize)
+				}
+			}
+			if stop {
+				break
+			}
+		}
+		if stop {
+			break
+		}
+		off += n
+	}
+	return out, nil
+}
+
+// readRingPages reads exactly n pages starting at ring offset start,
+// tolerating unwritten pages (an unsynced sealed tail reads as zeros).
+func (b *Backend) readRingPages(env *sim.Env, start, n int64) ([]byte, error) {
+	var out []byte
+	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, start, n) {
+		data, err := b.walRing.Read(env, run.start, run.n)
+		if err != nil {
+			for i := int64(0); i < run.n; i++ {
+				pg, perr := b.walRing.Read(env, run.start+i, 1)
+				if perr != nil {
+					out = appendPage(out, nil, b.pageSize)
+					continue
+				}
+				out = appendPage(out, pg[0], b.pageSize)
+			}
+			continue
+		}
+		for _, pg := range data {
+			out = appendPage(out, pg, b.pageSize)
+		}
+	}
+	return out, nil
+}
+
+// appendPage appends a device page, zero-padding short (tail) pages so
+// byte offsets stay page-aligned for the decoder.
+func appendPage(dst, pg []byte, pageSize int64) []byte {
+	dst = append(dst, pg...)
+	for i := int64(len(pg)); i < pageSize; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// readSequential reads n pages from lpa with a double-buffered read-ahead
+// pipeline: the next batch is in flight while the current one is consumed.
+// This is the §5.3 recovery reader.
+func (b *Backend) readSequential(env *sim.Env, lpa, n int64) ([]byte, error) {
+	out := make([]byte, 0, n*b.pageSize)
+	ra := b.cfg.RecoveryReadAhead
+	issue := func(off int64) *sim.Signal {
+		cnt := ra
+		if off+cnt > n {
+			cnt = n - off
+		}
+		return b.walRing.Submit(env, &uring.SQE{Op: uring.OpRead, LPA: lpa + off, N: cnt})
+	}
+	if n == 0 {
+		return out, nil
+	}
+	pendingSig := issue(0)
+	for off := int64(0); off < n; off += ra {
+		sig := pendingSig
+		if off+ra < n {
+			pendingSig = issue(off + ra)
+		}
+		cqe := sig.Wait(env).(*uring.CQE)
+		if cqe.Err != nil {
+			return nil, cqe.Err
+		}
+		for _, pg := range cqe.Data {
+			out = appendPage(out, pg, b.pageSize)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+// CellConfig describes one measured configuration (one row-cell of a
+// paper table).
+type CellConfig struct {
+	Kind   BackendKind
+	Policy imdb.LogPolicy
+	Scale  Scale
+	// Workload is the per-repetition driver; its Ops field is overridden
+	// by Scale.OpsPerRep.
+	Workload workload.Config
+	// OnDemandPerRep triggers an On-Demand-Snapshot at the end of every
+	// repetition (the redis-benchmark protocol of §5.1).
+	OnDemandPerRep bool
+	// DisableWALSnapshots turns off the size trigger (for WAL-only and
+	// snapshot-only studies).
+	DisableWALSnapshots bool
+	// Preload inserts the whole keyspace before measuring (YCSB load
+	// phase; also used by snapshot-only studies).
+	Preload bool
+	// SnapshotOnly replaces client traffic with a single On-Demand-Snapshot
+	// over a preloaded dataset (the paper's "Snapshot Only" scenario).
+	SnapshotOnly bool
+	// OnDemandMidRun triggers one On-Demand-Snapshot once ~40% of each
+	// repetition's operations have completed, so it overlaps live traffic
+	// (the paper's "Snapshot & WAL" scenario).
+	OnDemandMidRun bool
+	// GCPressure puts the device under sustained garbage collection for the
+	// whole run (the paper's "under GC" scenario). At 1/500 scale the
+	// free-space dynamics behind organic steady-state GC cannot form, so
+	// the controller work is injected on the dies (see DESIGN.md).
+	GCPressure bool
+}
+
+// Injected GC intensity: fraction of every die occupied by internal GC work
+// while GCPressure is on, and the injection granule.
+const (
+	gcPressureDuty   = 0.6
+	gcPressurePeriod = 2 * sim.Millisecond
+)
+
+// CellResult aggregates everything a table row needs.
+type CellResult struct {
+	Label  string
+	Config CellConfig
+
+	// Phase-split request rates (ops/s of virtual time).
+	WALOnlyRPS float64
+	SnapRPS    float64
+	AvgRPS     float64
+
+	// Memory (bytes): steady state and snapshot-period peak.
+	WALOnlyMem int64
+	SnapMem    int64
+
+	SetP999 sim.Duration
+	GetP999 sim.Duration
+
+	Snapshots        []imdb.SnapshotEvent
+	MeanSnapshotTime sim.Duration
+
+	WAF      float64
+	Duration sim.Duration
+	Series   *metrics.Series
+	Engine   imdb.Stats
+	Stack    *Stack
+
+	cellHists
+}
+
+// RunCell builds the stack, runs Reps repetitions of the workload, and
+// collects the cell metrics.
+func RunCell(cfg CellConfig) (*CellResult, error) {
+	eng := sim.NewEngine()
+	st, err := BuildStack(eng, cfg.Kind, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	series := metrics.NewSeries(cfg.Scale.RPSInterval)
+
+	dbCfg := imdb.Config{Policy: cfg.Policy}
+	if !cfg.DisableWALSnapshots {
+		dbCfg.WALSnapshotTrigger = cfg.Scale.WALTriggerBytes
+	}
+	db := imdb.New(eng, st.Backend, dbCfg, series)
+	db.Start()
+
+	wl := cfg.Workload
+	wl.Ops = cfg.Scale.OpsPerRep
+	if cfg.Scale.ValueSize > 0 {
+		wl.ValueSize = cfg.Scale.ValueSize
+	}
+
+	stopGC := func() {}
+	if cfg.GCPressure {
+		stopGC = st.Dev.InjectGCPressure(eng, gcPressureDuty, gcPressurePeriod)
+	}
+
+	res := &CellResult{Label: fmt.Sprintf("%s/%s", cfg.Kind, cfg.Policy), Config: cfg, Series: series, Stack: st}
+	var runErr error
+	var endAt sim.Time
+	eng.Spawn("driver", func(env *sim.Env) {
+		if cfg.Preload || cfg.SnapshotOnly {
+			if err := workload.Preload(env, db, wl); err != nil {
+				runErr = err
+				return
+			}
+		}
+		if cfg.SnapshotOnly {
+			trig := db.TriggerSnapshot(imdb.OnDemandSnapshot)
+			trig.Reply.Wait(env)
+			db.WaitNoSnapshot(env)
+			db.Shutdown(env)
+			endAt = env.Now()
+			stopGC()
+			return
+		}
+		for rep := 0; rep < max(1, cfg.Scale.Reps); rep++ {
+			repWL := wl
+			repWL.Seed = wl.Seed + int64(rep)*1000003
+			runner := workload.Start(env.Engine(), db, repWL)
+			if cfg.OnDemandMidRun {
+				target := repWL.Ops * 2 / 5
+				for runner.Result().Ops < target {
+					env.Sleep(5 * sim.Millisecond)
+				}
+				trig := db.TriggerSnapshot(imdb.OnDemandSnapshot)
+				trig.Reply.Wait(env)
+			}
+			runner.Done.Wait(env)
+			mergeResult(res, runner.Result())
+			if cfg.OnDemandPerRep {
+				trig := db.TriggerSnapshot(imdb.OnDemandSnapshot)
+				trig.Reply.Wait(env)
+				db.WaitNoSnapshot(env)
+			}
+		}
+		db.WaitNoSnapshot(env)
+		db.Shutdown(env)
+		endAt = env.Now()
+		stopGC()
+	})
+	eng.Run()
+	if runErr != nil {
+		eng.Shutdown()
+		return nil, runErr
+	}
+
+	res.Duration = endAt.Sub(0)
+	res.Engine = db.Stats()
+	res.Snapshots = res.Engine.Snapshots
+	res.WAF = st.Dev.Stats().WAF()
+	res.WALOnlyMem = res.Engine.BaseMemory
+	res.SnapMem = res.Engine.PeakMemory
+	if res.SnapMem < res.WALOnlyMem {
+		res.SnapMem = res.WALOnlyMem
+	}
+	res.SetP999 = res.setHist.P999()
+	res.GetP999 = res.getHist.P999()
+	splitPhases(res)
+	return res, nil
+}
+
+// ReleaseHeavy drops the references that keep the whole simulated device
+// (hundreds of MB of real page bytes) alive: the stack and the RPS series.
+// Table runners call it once a cell's metrics are extracted, so a multi-cell
+// experiment never holds more than one stack at a time.
+func (res *CellResult) ReleaseHeavy() {
+	res.Stack = nil
+	res.Series = nil
+}
+
+// mergeResult folds one repetition's latency data into the cell.
+func mergeResult(res *CellResult, r *workload.Result) {
+	res.setHist.Merge(&r.SetLatency)
+	res.getHist.Merge(&r.GetLatency)
+}
+
+// internal histograms live on the result so repetitions can merge.
+type cellHists struct {
+	setHist metrics.Histogram
+	getHist metrics.Histogram
+}
+
+// splitPhases computes WAL-only vs WAL&Snapshot request rates from the RPS
+// series and the snapshot intervals, plus the mean snapshot duration.
+func splitPhases(res *CellResult) {
+	interval := res.Series.Interval()
+	inSnap := func(i int) bool {
+		bStart := sim.Time(int64(i) * int64(interval))
+		bEnd := bStart.Add(interval)
+		for _, ev := range res.Snapshots {
+			if ev.Start < bEnd && ev.End > bStart {
+				return true
+			}
+		}
+		return false
+	}
+	var snapOps, walOps int64
+	var snapBuckets, walBuckets int
+	// Only whole buckets count: the trailing partial bucket would dilute
+	// whichever phase it lands in.
+	lastBucket := int(int64(res.Duration) / int64(interval))
+	if lastBucket > res.Series.Len() {
+		lastBucket = res.Series.Len()
+	}
+	for i := 0; i < lastBucket; i++ {
+		if inSnap(i) {
+			snapOps += res.Series.Count(i)
+			snapBuckets++
+		} else {
+			walOps += res.Series.Count(i)
+			walBuckets++
+		}
+	}
+	secs := interval.Seconds()
+	if walBuckets > 0 {
+		res.WALOnlyRPS = float64(walOps) / (float64(walBuckets) * secs)
+	}
+	if snapBuckets > 0 {
+		res.SnapRPS = float64(snapOps) / (float64(snapBuckets) * secs)
+	}
+	if res.Duration > 0 {
+		res.AvgRPS = float64(walOps+snapOps) / res.Duration.Seconds()
+	}
+	var total sim.Duration
+	for _, ev := range res.Snapshots {
+		total += ev.Duration
+	}
+	if n := len(res.Snapshots); n > 0 {
+		res.MeanSnapshotTime = total / sim.Duration(n)
+	}
+}

@@ -1,0 +1,258 @@
+// Package exp is the experiment harness: it assembles full system stacks
+// (NAND → FTL → device → I/O path → persistence backend → IMDB engine →
+// workload), runs the paper's scenarios, and regenerates every table and
+// figure of the evaluation section in the paper's own row format.
+//
+// Everything is scaled: the paper's 180 GB device / 26 GB dataset / 28 M
+// operations become a configurable Scale, with the default small enough to
+// run the whole suite in seconds while preserving every ratio that matters
+// (dataset:device, WAL-trigger:write-volume, snapshot:dataset).
+package exp
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/baseline"
+	"github.com/slimio/slimio/internal/core"
+	"github.com/slimio/slimio/internal/fdp"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/kernelio"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/uring"
+)
+
+// BackendKind selects a full storage stack.
+type BackendKind int
+
+const (
+	// BaselineEXT4: kernel path, ext4 profile, conventional SSD.
+	BaselineEXT4 BackendKind = iota
+	// BaselineF2FS: kernel path, f2fs profile, conventional SSD (the
+	// paper's main baseline).
+	BaselineF2FS
+	// BaselineF2FSPrio: as BaselineF2FS but with a sync-priority I/O
+	// scheduler instead of 'none' (ablation for the §4 scheduler argument).
+	BaselineF2FSPrio
+	// SlimIOFDP: I/O passthru onto an FDP SSD (the paper's SlimIO).
+	SlimIOFDP
+	// SlimIOConv: I/O passthru onto a conventional SSD (Figure 4's
+	// configuration: SlimIO without FDP).
+	SlimIOConv
+	// SlimIONoSQPoll: SlimIOFDP with SQPOLL disabled on the Snapshot-Path
+	// (ablation: quantify the SQPOLL share of the win).
+	SlimIONoSQPoll
+	// FDPAwareFS: kernel path on an FDP SSD with an FDP-aware filesystem
+	// assigning per-file placement IDs (ablation: GC relief without the
+	// syscall relief).
+	FDPAwareFS
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case BaselineEXT4:
+		return "baseline-ext4"
+	case BaselineF2FS:
+		return "baseline-f2fs"
+	case BaselineF2FSPrio:
+		return "baseline-f2fs-prio"
+	case SlimIOFDP:
+		return "slimio-fdp"
+	case SlimIOConv:
+		return "slimio-noFDP"
+	case SlimIONoSQPoll:
+		return "slimio-noSQPoll"
+	case FDPAwareFS:
+		return "fdp-aware-fs"
+	default:
+		return "unknown"
+	}
+}
+
+// Scale sizes a scenario. All paper quantities shrink by a common factor.
+type Scale struct {
+	Name        string
+	DeviceBytes int64
+	// KeyRange and value sizes define the dataset; ops per repetition and
+	// repetitions define the write volume.
+	KeyRange  int64
+	OpsPerRep int64
+	Reps      int
+	// WALTriggerBytes starts a WAL-Snapshot (paper: 50–55 GB, ~2 per rep).
+	WALTriggerBytes int64
+	// SlotBytes sizes each SlimIO snapshot slot.
+	SlotBytes int64
+	// RPSInterval is the runtime-RPS bucket width.
+	RPSInterval sim.Duration
+	// ValueSize overrides the workload's value size when non-zero.
+	ValueSize int
+}
+
+// SmallScale is the default: ~1/500 of the paper's volume, seconds to run.
+func SmallScale() Scale {
+	return Scale{
+		Name:            "small",
+		DeviceBytes:     320 << 20,
+		KeyRange:        10_000, // ×4 KiB ≈ 40 MiB dataset
+		OpsPerRep:       55_000, // ≈5.5 overwrites per key, as 28M/5.3M
+		Reps:            2,
+		WALTriggerBytes: 120 << 20, // ~2 WAL-snapshots per rep
+		SlotBytes:       28 << 20,
+		RPSInterval:     20 * sim.Millisecond,
+	}
+}
+
+// PaperScale reproduces the paper's actual parameters (180 GB device,
+// 5.3 M keys, 28 M operations over five repetitions, 52 GB WAL trigger).
+// Expect hours of wall time and tens of GB of memory: the simulation holds
+// real page bytes.
+func PaperScale() Scale {
+	return Scale{
+		Name:            "paper",
+		DeviceBytes:     180 << 30,
+		KeyRange:        5_300_000,
+		OpsPerRep:       5_600_000,
+		Reps:            5,
+		WALTriggerBytes: 52 << 30,
+		SlotBytes:       24 << 30,
+		RPSInterval:     sim.Second,
+	}
+}
+
+// TinyScale is for unit tests of the harness itself.
+func TinyScale() Scale {
+	return Scale{
+		Name:            "tiny",
+		DeviceBytes:     64 << 20,
+		KeyRange:        1000,
+		OpsPerRep:       6000,
+		Reps:            1,
+		WALTriggerBytes: 8 << 20,
+		SlotBytes:       4 << 20,
+		RPSInterval:     5 * sim.Millisecond,
+	}
+}
+
+// Stack is one assembled storage system.
+type Stack struct {
+	Kind    BackendKind
+	Eng     *sim.Engine
+	Dev     *ssd.Device
+	Backend imdb.Backend
+	// FS is non-nil for kernel-path stacks.
+	FS *kernelio.Filesystem
+	// Slim is non-nil for SlimIO stacks.
+	Slim *core.Backend
+}
+
+// BuildStack assembles the device and persistence backend for kind.
+func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
+	geo := nand.DefaultGeometry(sc.DeviceBytes)
+	lat := nand.DefaultLatencies()
+	arr, err := nand.New(geo, lat)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{Kind: kind, Eng: eng}
+
+	// The conventional baseline device is the same line-based FTL with a
+	// single placement stream (FEMU reclaims superblocks spanning all dies;
+	// that is what makes mixed lifetimes expensive).
+	newConv := func() (*ssd.Device, error) {
+		f, err := fdp.NewConventional(arr, fdp.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return ssd.New(f, ssd.Config{}), nil
+	}
+	newFDP := func() (*ssd.Device, error) {
+		f, err := fdp.New(arr, fdp.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return ssd.New(f, ssd.Config{}), nil
+	}
+	slotPages := sc.SlotBytes / int64(geo.PageSize)
+
+	switch kind {
+	case BaselineEXT4, BaselineF2FS, BaselineF2FSPrio, FDPAwareFS:
+		prof := kernelio.F2FS()
+		if kind == BaselineEXT4 {
+			prof = kernelio.EXT4()
+		}
+		mode := kernelio.SchedNone
+		if kind == BaselineF2FSPrio {
+			mode = kernelio.SchedSyncPriority
+		}
+		if kind == FDPAwareFS {
+			dev, err := newFDP()
+			if err != nil {
+				return nil, err
+			}
+			st.Dev = dev
+		} else {
+			dev, err := newConv()
+			if err != nil {
+				return nil, err
+			}
+			st.Dev = dev
+		}
+		st.FS = kernelio.NewFilesystem(eng, st.Dev, prof, mode, kernelio.DefaultCosts())
+		if kind == FDPAwareFS {
+			st.FS.SetPlacementHint(filePID)
+		}
+		be, err := baseline.New(st.FS)
+		if err != nil {
+			return nil, err
+		}
+		st.Backend = be
+
+	case SlimIOFDP, SlimIOConv, SlimIONoSQPoll:
+		if kind == SlimIOConv {
+			dev, err := newConv()
+			if err != nil {
+				return nil, err
+			}
+			st.Dev = dev
+		} else {
+			dev, err := newFDP()
+			if err != nil {
+				return nil, err
+			}
+			st.Dev = dev
+		}
+		cfg := core.Config{SlotPages: slotPages}
+		if kind == SlimIONoSQPoll {
+			cfg.SnapshotRingSet = true
+			cfg.SnapshotRing = uring.Config{SQPoll: false}
+		}
+		be, err := core.New(eng, st.Dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.Slim = be
+		st.Backend = be
+
+	default:
+		return nil, fmt.Errorf("exp: unknown backend kind %d", kind)
+	}
+	return st, nil
+}
+
+// filePID maps baseline file names to lifetime-class PIDs, mirroring
+// SlimIO's assignment for the FDP-aware-filesystem ablation.
+func filePID(name string) uint32 {
+	switch {
+	case hasPrefix(name, "appendonly.wal"):
+		return core.PIDWAL
+	case name == "dump-wal.rdb" || hasPrefix(name, "dump-wal"):
+		return core.PIDWALSnapshot
+	case hasPrefix(name, "dump-ondemand"):
+		return core.PIDOnDemand
+	default:
+		return 0
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,307 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// Table1Result reproduces Table 1: query throughput and peak memory during
+// WAL-only vs Snapshot&WAL phases on EXT4 and F2FS.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one (filesystem, phase) measurement.
+type Table1Row struct {
+	FS       string
+	Phase    string // "WAL Only" | "Snapshot&WAL"
+	RPS      float64
+	MemBytes int64
+}
+
+// RunTable1 regenerates Table 1 (baseline only, redis-benchmark workload,
+// Periodical-Log, WAL-Snapshots enabled, no On-Demand-Snapshot — §2.2).
+func RunTable1(sc Scale) (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, kind := range []BackendKind{BaselineEXT4, BaselineF2FS} {
+		res, err := RunCell(CellConfig{
+			Kind:     kind,
+			Policy:   imdb.PeriodicalLog,
+			Scale:    sc,
+			Workload: workload.RedisBench(0, sc.KeyRange),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs := res.Stack.FS.Profile().Name
+		res.Stack.Eng.Shutdown()
+		res.ReleaseHeavy()
+		out.Rows = append(out.Rows,
+			Table1Row{FS: fs, Phase: "WAL Only", RPS: res.WALOnlyRPS, MemBytes: res.WALOnlyMem},
+			Table1Row{FS: fs, Phase: "Snapshot&WAL", RPS: res.SnapRPS, MemBytes: res.SnapMem},
+		)
+	}
+	return out, nil
+}
+
+func (t *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Performance Degradation and Increased Memory Usage During Snapshot Generation\n")
+	fmt.Fprintf(&b, "%-6s %-14s %14s %18s\n", "FS", "Phase", "Requests/s", "Peak Memory (MB)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-6s %-14s %14.2f %18.1f\n", strings.ToUpper(r.FS), r.Phase, r.RPS, mb(r.MemBytes))
+	}
+	return b.String()
+}
+
+// Table2Result reproduces Table 2: the filesystem write path's share of the
+// snapshot process's time, Snapshot-Only vs Snapshot&WAL (F2FS).
+type Table2Result struct {
+	SnapshotOnlyPct float64
+	SnapshotWALPct  float64
+}
+
+// RunTable2 regenerates Table 2. WAL-Snapshots are disabled for these
+// scenarios (§3.1 isolates a single On-Demand-Snapshot), so the run is
+// bounded to one repetition that fits the unbounded log on the device.
+func RunTable2(sc Scale) (*Table2Result, error) {
+	sc.Reps = 1
+	sc.OpsPerRep /= 2
+	fsShare := func(cfg CellConfig) (float64, error) {
+		res, err := RunCell(cfg)
+		if err != nil {
+			return 0, err
+		}
+		var fsBusy, dur sim.Duration
+		for _, ev := range res.Snapshots {
+			if ev.Kind == imdb.OnDemandSnapshot {
+				// The filesystem write path includes the user→kernel copy
+				// (generic_perform_write runs inside the fs), the per-op
+				// fs code, and the syscall shell around it.
+				fsBusy += ev.BusyFS + ev.BusySyscall + ev.BusyCopy
+				dur += ev.Duration
+			}
+		}
+		if dur == 0 {
+			return 0, fmt.Errorf("exp: no on-demand snapshot ran")
+		}
+		return 100 * float64(fsBusy) / float64(dur), nil
+	}
+	only, err := fsShare(CellConfig{
+		Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
+		Workload:     workload.RedisBench(0, sc.KeyRange),
+		SnapshotOnly: true, DisableWALSnapshots: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	with, err := fsShare(CellConfig{
+		Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
+		Workload:       workload.RedisBench(0, sc.KeyRange),
+		OnDemandMidRun: true, DisableWALSnapshots: true,
+		Preload: true, // identical dataset to the Snapshot-Only scenario
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{SnapshotOnlyPct: only, SnapshotWALPct: with}, nil
+}
+
+func (t *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: CPU Usage of File System Write Path in Snapshots (F2FS)\n")
+	fmt.Fprintf(&b, "%-14s %28s\n", "Scenario", "FS share of snapshot process")
+	fmt.Fprintf(&b, "%-14s %27.2f%%\n", "Snapshot Only", t.SnapshotOnlyPct)
+	fmt.Fprintf(&b, "%-14s %27.2f%%\n", "Snapshot&WAL", t.SnapshotWALPct)
+	return b.String()
+}
+
+// OverallRow is one system row of Tables 3/4.
+type OverallRow struct {
+	Policy  imdb.LogPolicy
+	System  string
+	Kind    BackendKind
+	Result  *CellResult
+	GetP999 sim.Duration
+}
+
+// OverallResult holds the full Table 3 or Table 4.
+type OverallResult struct {
+	Title   string
+	HasWAF  bool
+	HasGet  bool
+	Rows    []OverallRow
+	WAFNote string
+}
+
+// RunTable3 regenerates Table 3: the overall redis-benchmark evaluation —
+// both logging policies, baseline (F2FS on a conventional SSD) vs SlimIO
+// (passthru on FDP), with per-repetition On-Demand-Snapshots.
+func RunTable3(sc Scale) (*OverallResult, error) {
+	out := &OverallResult{Title: "Table 3: Overall Evaluation with Redis Benchmark Workload", HasWAF: true}
+	for _, pol := range []imdb.LogPolicy{imdb.PeriodicalLog, imdb.AlwaysLog} {
+		for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
+			res, err := RunCell(CellConfig{
+				Kind: kind, Policy: pol, Scale: sc,
+				Workload:       workload.RedisBench(0, sc.KeyRange),
+				OnDemandPerRep: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			name := "Baseline"
+			if kind == SlimIOFDP {
+				name = "SlimIO"
+			}
+			res.Stack.Eng.Shutdown()
+			res.ReleaseHeavy()
+			out.Rows = append(out.Rows, OverallRow{Policy: pol, System: name, Kind: kind, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// RunTable4 regenerates Table 4: the YCSB-A evaluation — zipfian 50/50
+// GET:SET, preloaded records, WAL-Snapshots only (no On-Demand, no GC
+// pressure).
+func RunTable4(sc Scale) (*OverallResult, error) {
+	out := &OverallResult{Title: "Table 4: Overall Evaluation with YCSB-A Workload", HasGet: true}
+	ycsbScale := sc
+	if ycsbScale.ValueSize == 0 {
+		ycsbScale.ValueSize = 2048
+	}
+	for _, pol := range []imdb.LogPolicy{imdb.PeriodicalLog, imdb.AlwaysLog} {
+		for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
+			res, err := RunCell(CellConfig{
+				Kind: kind, Policy: pol, Scale: ycsbScale,
+				Workload: workload.YCSBA(0, ycsbScale.KeyRange),
+				Preload:  true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			name := "Baseline"
+			if kind == SlimIOFDP {
+				name = "SlimIO"
+			}
+			row := OverallRow{Policy: pol, System: name, Kind: kind, Result: res, GetP999: res.getHist.P999()}
+			res.Stack.Eng.Shutdown()
+			res.ReleaseHeavy()
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (t *OverallResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, t.Title)
+	hdr := fmt.Sprintf("%-11s %-9s %12s %10s %12s %10s %12s %12s %14s",
+		"Policy", "System", "WALonly RPS", "Mem(MB)", "Snap&WAL", "Mem(MB)", "Avg RPS", "SnapTime", "SET p999")
+	if t.HasGet {
+		hdr += fmt.Sprintf(" %14s", "GET p999")
+	}
+	if t.HasWAF {
+		hdr += fmt.Sprintf(" %8s", "WAF")
+	}
+	fmt.Fprintln(&b, hdr)
+	for _, r := range t.Rows {
+		res := r.Result
+		line := fmt.Sprintf("%-11s %-9s %12.2f %10.1f %12.2f %10.1f %12.2f %12s %14s",
+			r.Policy, r.System, res.WALOnlyRPS, mb(res.WALOnlyMem), res.SnapRPS, mb(res.SnapMem),
+			res.AvgRPS, res.MeanSnapshotTime, res.SetP999)
+		if t.HasGet {
+			line += fmt.Sprintf(" %14s", r.GetP999)
+		}
+		if t.HasWAF {
+			line += fmt.Sprintf(" %8.2f", res.WAF)
+		}
+		fmt.Fprintln(&b, line)
+	}
+	return b.String()
+}
+
+// Table5Result reproduces Table 5: recovery time and throughput from a
+// snapshot, baseline vs SlimIO.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5Row is one system's recovery measurement.
+type Table5Row struct {
+	System        string
+	SnapshotBytes int64
+	RecoveryTime  sim.Duration
+	ThroughputBps float64
+	Entries       int64
+}
+
+// RunTable5 regenerates Table 5: write a dataset with an On-Demand-Snapshot
+// on each backend, then recover into a fresh engine and time the load
+// (cold page cache for the baseline).
+func RunTable5(sc Scale) (*Table5Result, error) {
+	out := &Table5Result{}
+	for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
+		cell, err := RunCell(CellConfig{
+			Kind: kind, Policy: imdb.PeriodicalLog, Scale: sc,
+			Workload:       workload.RedisBench(0, sc.KeyRange),
+			OnDemandPerRep: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng := cell.Stack.Eng
+		db2 := imdb.New(eng, cell.Stack.Backend, imdb.Config{}, nil)
+		var row Table5Row
+		var recErr error
+		eng.Spawn("recover", func(env *sim.Env) {
+			if cell.Stack.FS != nil {
+				cell.Stack.FS.DropCaches()
+			}
+			t0 := env.Now()
+			entries, _, err := db2.Recover(env)
+			if err != nil {
+				recErr = err
+				return
+			}
+			row.RecoveryTime = env.Now().Sub(t0)
+			row.Entries = entries
+		})
+		eng.Run()
+		if recErr != nil {
+			return nil, recErr
+		}
+		// Recovered image size: the last snapshot's compressed bytes plus
+		// the replayed WAL.
+		if last := len(cell.Snapshots) - 1; last >= 0 {
+			row.SnapshotBytes = cell.Snapshots[last].CompressedBytes
+		}
+		if row.RecoveryTime > 0 {
+			row.ThroughputBps = float64(row.SnapshotBytes) / row.RecoveryTime.Seconds()
+		}
+		row.System = "Baseline"
+		if kind == SlimIOFDP {
+			row.System = "SlimIO"
+		}
+		cell.Stack.Eng.Shutdown()
+		cell.ReleaseHeavy()
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (t *Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 5: Recovery Evaluation on Snapshot")
+	fmt.Fprintf(&b, "%-9s %16s %20s %24s\n", "System", "Image (MB)", "Recovery Time", "Recovery Tput (MB/s)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9s %16.1f %20s %24.2f\n", r.System, mb(r.SnapshotBytes), r.RecoveryTime, r.ThroughputBps/(1<<20))
+	}
+	return b.String()
+}

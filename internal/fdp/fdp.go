@@ -1,0 +1,511 @@
+// Package fdp implements a Flexible Data Placement (NVMe FDP) flash
+// translation layer over a nand.Array.
+//
+// The host tags each write with a Placement Identifier (PID); the FTL groups
+// same-PID data into Reclaim Units (RUs) — fixed-size groups of physical
+// blocks striped across dies. Because data that dies together was placed
+// together, reclaiming space normally means erasing a wholly-invalid RU with
+// zero valid-data movement, which is how the paper's SlimIO configuration
+// achieves WAF = 1.00 (paper §2.3, §4.3).
+//
+// If the host mixes lifetimes within a PID the FTL still works: a partially
+// valid RU victim is migrated page by page exactly like a conventional FTL,
+// and the copies show up in Stats — making the "FDP only helps if the host
+// separates lifetimes" property testable.
+package fdp
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/ftl"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Stats extends the conventional FTL counters with RU-level reclaim info.
+type Stats struct {
+	ftl.Stats
+	RUsReclaimed      int64
+	RUsReclaimedEmpty int64 // reclaimed with zero valid copies (the FDP win)
+	HostWritesByPID   map[uint32]int64
+}
+
+// ReclaimEvent records one RU reclaim for inspection.
+type ReclaimEvent struct {
+	At          sim.Time
+	RU          int
+	PID         uint32
+	ValidCopied int
+	Done        sim.Time
+}
+
+// Config tunes the FDP FTL.
+type Config struct {
+	// BlocksPerRU is the reclaim-unit size in physical blocks (default: one
+	// block per die, so an RU stripes across the whole array).
+	BlocksPerRU int
+	// MaxPIDs is the number of placement identifiers the device supports
+	// (default 8, matching the paper's emulated device). Writes with
+	// pid >= MaxPIDs are rejected. Every actively-written PID pins one open
+	// reclaim unit, so the device needs roughly MaxPIDs+ReclaimFreeRUsLow+2
+	// reclaim units of physical capacity to serve all streams at once.
+	MaxPIDs int
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// (default 1/8).
+	OverProvision float64
+	// ReclaimFreeRUsLow triggers a proactive (one-RU) reclaim when the
+	// free pool is at or below this level (default 2). An empty pool
+	// forces emergency reclaim until a free RU exists.
+	ReclaimFreeRUsLow int
+	// EventLogLimit bounds the retained reclaim log (default 4096).
+	EventLogLimit int
+}
+
+func (c *Config) fillDefaults(geo nand.Geometry) {
+	if c.BlocksPerRU <= 0 {
+		c.BlocksPerRU = geo.Dies()
+	}
+	if c.MaxPIDs <= 0 {
+		c.MaxPIDs = 8
+	}
+	if c.OverProvision <= 0 || c.OverProvision >= 1 {
+		c.OverProvision = 1.0 / 8
+	}
+	if c.ReclaimFreeRUsLow <= 0 {
+		c.ReclaimFreeRUsLow = 2
+	}
+	if c.EventLogLimit <= 0 {
+		c.EventLogLimit = 4096
+	}
+}
+
+type blockRef struct{ die, block int }
+
+type ruState int
+
+const (
+	ruFree ruState = iota
+	ruOpen
+	ruClosed
+)
+
+type reclaimUnit struct {
+	id     int
+	blocks []blockRef
+	state  ruState
+	pid    uint32
+	valid  int
+	// writeCursor is the number of pages programmed into this RU; pages
+	// stripe round-robin across the RU's blocks.
+	writeCursor int
+	// closedSeq orders closed RUs by age, so reclaim's tie-break rotates
+	// through the pool instead of thrashing a few units (wear leveling).
+	closedSeq int64
+}
+
+func (ru *reclaimUnit) pages(perBlock int) int { return len(ru.blocks) * perBlock }
+
+// FTL is the FDP translation layer. Not safe for concurrent use.
+type FTL struct {
+	arr *nand.Array
+	cfg Config
+
+	usableLPAs int64
+	l2p        []nand.PPA
+	p2l        []int64
+	ruOf       []int32 // global block index -> RU id
+
+	rus      []*reclaimUnit
+	freeRUs  []int
+	active   map[uint32]*reclaimUnit // PID -> open RU
+	closeSeq int64
+
+	stats     Stats
+	log       []ReclaimEvent
+	reclaimIn bool
+	pageSz    int
+}
+
+// New builds an FDP FTL over a fresh array. The geometry's total block count
+// must be a multiple of BlocksPerRU.
+func New(arr *nand.Array, cfg Config) (*FTL, error) {
+	geo := arr.Geometry()
+	cfg.fillDefaults(geo)
+	if geo.Blocks()%cfg.BlocksPerRU != 0 {
+		return nil, fmt.Errorf("fdp: %d blocks not divisible by RU size %d", geo.Blocks(), cfg.BlocksPerRU)
+	}
+	nRU := geo.Blocks() / cfg.BlocksPerRU
+	// Usable capacity honors over-provisioning and always reserves enough
+	// whole reclaim units (threshold+2) for reclaim to make progress even
+	// when a partially-valid victim must be migrated.
+	pagesPerRU := int64(cfg.BlocksPerRU) * int64(geo.PagesPerBlock)
+	usable := int64(float64(geo.Pages()) * (1 - cfg.OverProvision))
+	reserve := geo.Pages() - int64(cfg.ReclaimFreeRUsLow+2)*pagesPerRU
+	if reserve < usable {
+		usable = reserve
+	}
+	if usable < 1 {
+		usable = 1
+	}
+	f := &FTL{
+		arr:        arr,
+		cfg:        cfg,
+		usableLPAs: usable,
+		l2p:        make([]nand.PPA, geo.Pages()),
+		p2l:        make([]int64, geo.Pages()),
+		ruOf:       make([]int32, geo.Blocks()),
+		active:     make(map[uint32]*reclaimUnit),
+		pageSz:     geo.PageSize,
+	}
+	f.stats.HostWritesByPID = make(map[uint32]int64)
+	for i := range f.l2p {
+		f.l2p[i] = nand.InvalidPPA
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	// Assemble RUs by striping blocks across dies: RU r's j-th block lives
+	// on die j mod Dies, so every RU enjoys full array parallelism.
+	dieCursor := make([]int, geo.Dies())
+	for r := 0; r < nRU; r++ {
+		ru := &reclaimUnit{id: r, state: ruFree}
+		for j := 0; j < cfg.BlocksPerRU; j++ {
+			die := (r*cfg.BlocksPerRU + j) % geo.Dies()
+			block := dieCursor[die]
+			dieCursor[die]++
+			if block >= geo.BlocksPerDie {
+				return nil, fmt.Errorf("fdp: RU striping overflowed die %d (choose BlocksPerRU divisible by die count)", die)
+			}
+			ru.blocks = append(ru.blocks, blockRef{die, block})
+			f.ruOf[die*geo.BlocksPerDie+block] = int32(r)
+		}
+		f.rus = append(f.rus, ru)
+		f.freeRUs = append(f.freeRUs, r)
+	}
+	return f, nil
+}
+
+// Capacity reports host-visible logical pages.
+func (f *FTL) Capacity() int64 { return f.usableLPAs }
+
+// PageSize reports the page size in bytes.
+func (f *FTL) PageSize() int { return f.pageSz }
+
+// Stats returns cumulative counters. The returned HostWritesByPID map is a
+// copy.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.HostWritesByPID = make(map[uint32]int64, len(f.stats.HostWritesByPID))
+	for k, v := range f.stats.HostWritesByPID {
+		s.HostWritesByPID[k] = v
+	}
+	return s
+}
+
+// BaseStats returns the conventional-FTL-compatible counters, satisfying the
+// shared device interface.
+func (f *FTL) BaseStats() ftl.Stats { return f.stats.Stats }
+
+// Array exposes the NAND array beneath the FTL.
+func (f *FTL) Array() *nand.Array { return f.arr }
+
+// ReclaimLog returns retained reclaim events (oldest first).
+func (f *FTL) ReclaimLog() []ReclaimEvent { return f.log }
+
+// FreeRUs reports the size of the free reclaim-unit pool.
+func (f *FTL) FreeRUs() int { return len(f.freeRUs) }
+
+// RUCount reports the total number of reclaim units.
+func (f *FTL) RUCount() int { return len(f.rus) }
+
+// RUUsage describes one reclaim unit for the inspect tooling.
+type RUUsage struct {
+	ID    int
+	State string
+	PID   uint32
+	Valid int
+	Total int
+}
+
+// Usage returns a snapshot of every RU's occupancy.
+func (f *FTL) Usage() []RUUsage {
+	perBlock := f.arr.Geometry().PagesPerBlock
+	out := make([]RUUsage, len(f.rus))
+	names := map[ruState]string{ruFree: "free", ruOpen: "open", ruClosed: "closed"}
+	for i, ru := range f.rus {
+		out[i] = RUUsage{ID: ru.id, State: names[ru.state], PID: ru.pid, Valid: ru.valid, Total: ru.pages(perBlock)}
+	}
+	return out
+}
+
+func (f *FTL) checkLPA(lpa int64) error {
+	if lpa < 0 || lpa >= f.usableLPAs {
+		return fmt.Errorf("fdp: LPA %d out of range [0,%d)", lpa, f.usableLPAs)
+	}
+	return nil
+}
+
+func (f *FTL) invalidate(lpa int64) {
+	old := f.l2p[lpa]
+	if old == nand.InvalidPPA {
+		return
+	}
+	f.l2p[lpa] = nand.InvalidPPA
+	f.p2l[old] = -1
+	f.rus[f.ruOf[f.arr.BlockOf(old)]].valid--
+}
+
+// nextPPA returns the next physical page of an open RU, striping across its
+// blocks so consecutive pages land on different dies.
+func (f *FTL) nextPPA(ru *reclaimUnit) nand.PPA {
+	b := ru.blocks[ru.writeCursor%len(ru.blocks)]
+	ru.writeCursor++
+	// The in-block page index equals the block's own program pointer by
+	// construction, since pages rotate over the RU's blocks in fixed order.
+	return f.arr.PPAOf(b.die, b.block, f.arr.NextProgramPage(b.die, b.block))
+}
+
+// openRU returns the active RU for pid, drawing (and if necessary
+// reclaiming) from the free pool. done is when any triggered reclaim work
+// finishes.
+func (f *FTL) openRU(now sim.Time, pid uint32) (*reclaimUnit, sim.Time, error) {
+	if ru := f.active[pid]; ru != nil {
+		return ru, now, nil
+	}
+	done := now
+	if !f.reclaimIn {
+		// Emergency: with no free RU at all, reclaim until one appears.
+		maxIters := 4 * len(f.rus)
+		for iter := 0; len(f.freeRUs) == 0; iter++ {
+			if iter > maxIters {
+				return nil, now, fmt.Errorf("fdp: reclaim made no progress after %d runs", iter)
+			}
+			d, reclaimed, err := f.reclaim(done)
+			if err != nil {
+				return nil, now, err
+			}
+			if !reclaimed {
+				break
+			}
+			done = d
+		}
+		// Proactive: restore headroom before the pool empties, so emergency
+		// reclaim (which may need a destination RU for migration) never
+		// starts from zero. Lifetime-separated victims reclaim in one
+		// parallel erase round, so the host-visible stall stays short.
+		for len(f.freeRUs) <= f.cfg.ReclaimFreeRUsLow {
+			d, reclaimed, err := f.reclaim(done)
+			if err != nil {
+				return nil, now, err
+			}
+			if !reclaimed {
+				break
+			}
+			done = d
+		}
+		// Reclaim migration may itself have opened an RU for this PID;
+		// reuse it rather than orphaning it.
+		if ru := f.active[pid]; ru != nil {
+			return ru, done, nil
+		}
+	}
+	if len(f.freeRUs) == 0 {
+		return nil, now, fmt.Errorf("fdp: no free reclaim units (device full)")
+	}
+	// FIFO allocation rotates reclaim units through the pool, spreading
+	// erases evenly across blocks (coarse wear leveling).
+	id := f.freeRUs[0]
+	f.freeRUs = f.freeRUs[1:]
+	ru := f.rus[id]
+	ru.state = ruOpen
+	ru.pid = pid
+	ru.writeCursor = 0
+	f.active[pid] = ru
+	return ru, done, nil
+}
+
+// reclaim frees the closed RU with the fewest valid pages. A wholly-invalid
+// RU costs only erases; otherwise valid pages migrate to their PID's open RU
+// first (inflating WAF, which Stats expose). It reports whether a victim was
+// reclaimed.
+func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
+	f.reclaimIn = true
+	defer func() { f.reclaimIn = false }()
+
+	var victim *reclaimUnit
+	for _, ru := range f.rus {
+		if ru.state != ruClosed {
+			continue
+		}
+		if victim == nil || ru.valid < victim.valid ||
+			(ru.valid == victim.valid && ru.closedSeq < victim.closedSeq) {
+			victim = ru
+		}
+	}
+	if victim == nil {
+		return now, false, nil
+	}
+
+	start, end := now, now
+	copied := 0
+	if victim.valid > 0 {
+		perBlock := f.arr.Geometry().PagesPerBlock
+		for _, b := range victim.blocks {
+			for p := 0; p < perBlock; p++ {
+				src := f.arr.PPAOf(b.die, b.block, p)
+				lpa := f.p2l[src]
+				if lpa < 0 {
+					continue
+				}
+				data, rdone, err := f.arr.Read(now, src)
+				if err != nil {
+					return now, false, fmt.Errorf("fdp: reclaim read: %w", err)
+				}
+				dst, _, err := f.placePage(rdone, victim.pid)
+				if err != nil {
+					return now, false, fmt.Errorf("fdp: reclaim place: %w", err)
+				}
+				wdone, err := f.arr.Program(rdone, dst, data)
+				if err != nil {
+					return now, false, fmt.Errorf("fdp: reclaim program: %w", err)
+				}
+				if wdone > end {
+					end = wdone
+				}
+				f.p2l[src] = -1
+				victim.valid--
+				f.l2p[lpa] = dst
+				f.p2l[dst] = lpa
+				f.rus[f.ruOf[f.arr.BlockOf(dst)]].valid++
+				copied++
+				f.stats.NANDWritePages++
+				f.stats.GCCopiedPages++
+			}
+		}
+	}
+	// The victim's blocks live on distinct dies, so their erases proceed in
+	// parallel: book them all at the same base time.
+	eraseStart := end
+	for _, b := range victim.blocks {
+		edone, err := f.arr.Erase(eraseStart, b.die, b.block)
+		if err != nil {
+			return now, false, fmt.Errorf("fdp: reclaim erase: %w", err)
+		}
+		if edone > end {
+			end = edone
+		}
+		f.stats.GCErasedBlocks++
+	}
+	victim.state = ruFree
+	victim.valid = 0
+	victim.writeCursor = 0
+	f.freeRUs = append(f.freeRUs, victim.id)
+
+	f.stats.GCRuns++
+	f.stats.RUsReclaimed++
+	if copied == 0 {
+		f.stats.RUsReclaimedEmpty++
+	}
+	f.stats.GCBusy += end.Sub(start)
+	if len(f.log) < f.cfg.EventLogLimit {
+		f.log = append(f.log, ReclaimEvent{At: start, RU: victim.id, PID: victim.pid, ValidCopied: copied, Done: end})
+	}
+	return end, true, nil
+}
+
+// placePage hands out the next physical page for pid's stream, rotating the
+// open RU when it fills.
+func (f *FTL) placePage(now sim.Time, pid uint32) (nand.PPA, sim.Time, error) {
+	ru, done, err := f.openRU(now, pid)
+	if err != nil {
+		return nand.InvalidPPA, now, err
+	}
+	ppa := f.nextPPA(ru)
+	if ru.writeCursor >= ru.pages(f.arr.Geometry().PagesPerBlock) {
+		ru.state = ruClosed
+		f.closeSeq++
+		ru.closedSeq = f.closeSeq
+		delete(f.active, pid)
+	}
+	return ppa, done, nil
+}
+
+// Write stores one page at lpa within the placement stream pid.
+func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
+	if err := f.checkLPA(lpa); err != nil {
+		return now, err
+	}
+	if int(pid) >= f.cfg.MaxPIDs {
+		return now, fmt.Errorf("fdp: PID %d exceeds device limit %d", pid, f.cfg.MaxPIDs)
+	}
+	ppa, ready, err := f.placePage(now, pid)
+	if err != nil {
+		return now, err
+	}
+	f.invalidate(lpa)
+	done, err = f.arr.Program(ready, ppa, data)
+	if err != nil {
+		return now, err
+	}
+	f.l2p[lpa] = ppa
+	f.p2l[ppa] = lpa
+	f.rus[f.ruOf[f.arr.BlockOf(ppa)]].valid++
+	f.stats.HostWritePages++
+	f.stats.NANDWritePages++
+	f.stats.HostWritesByPID[pid]++
+	return done, nil
+}
+
+// Read returns the page stored at lpa.
+func (f *FTL) Read(now sim.Time, lpa int64) (data []byte, done sim.Time, err error) {
+	if err := f.checkLPA(lpa); err != nil {
+		return nil, now, err
+	}
+	ppa := f.l2p[lpa]
+	if ppa == nand.InvalidPPA {
+		return nil, now, fmt.Errorf("fdp: read of unmapped LPA %d", lpa)
+	}
+	f.stats.HostReadPages++
+	return f.arr.Read(now, ppa)
+}
+
+// Deallocate (TRIM) invalidates count LPAs starting at lpa.
+func (f *FTL) Deallocate(lpa, count int64) error {
+	if count < 0 || lpa < 0 || lpa+count > f.usableLPAs {
+		return fmt.Errorf("fdp: deallocate range [%d,%d) out of bounds", lpa, lpa+count)
+	}
+	for i := int64(0); i < count; i++ {
+		f.invalidate(lpa + i)
+	}
+	return nil
+}
+
+// Mapped reports whether lpa currently holds data.
+func (f *FTL) Mapped(lpa int64) bool {
+	return lpa >= 0 && lpa < f.usableLPAs && f.l2p[lpa] != nand.InvalidPPA
+}
+
+// Conventional adapts the line-based FTL into a conventional (non-FDP) SSD:
+// placement hints are ignored, so every write shares one stream and data
+// with different lifetimes mixes within reclaim units (superblocks) — the
+// FEMU-style baseline device of the paper's evaluation. Reclaiming such a
+// mixed superblock copies its still-valid pages, which is where the
+// baseline's write amplification (Table 3: 1.14–1.24) comes from.
+type Conventional struct {
+	*FTL
+}
+
+// NewConventional builds a single-stream line-based FTL over arr.
+func NewConventional(arr *nand.Array, cfg Config) (*Conventional, error) {
+	cfg.MaxPIDs = 1
+	f, err := New(arr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Conventional{FTL: f}, nil
+}
+
+// Write stores one page at lpa, ignoring the placement hint.
+func (c *Conventional) Write(now sim.Time, lpa int64, data []byte, pid uint32) (sim.Time, error) {
+	return c.FTL.Write(now, lpa, data, 0)
+}

@@ -1,0 +1,405 @@
+// Package ftl implements a conventional page-mapped flash translation layer
+// over a nand.Array: a single write front shared by all data (so streams
+// with different lifetimes mix inside physical blocks), greedy victim
+// selection, and foreground garbage collection whose valid-page migration is
+// the source of write amplification.
+//
+// This is the device model behind the paper's baseline ("conventional NVMe
+// SSD ... without FDP support"): because WAL entries, WAL-Snapshots and
+// On-Demand-Snapshots land in the same blocks, reclaiming space forces the
+// device to copy still-valid long-lived data, inflating WAF above 1 and
+// stalling host writes behind GC work (paper §2.3, §3.1.4).
+package ftl
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Stats aggregates host-visible FTL counters. WAF is NAND page programs per
+// host page write; 1.00 means the device never rewrote data internally.
+type Stats struct {
+	HostWritePages int64 // page programs requested by the host
+	HostReadPages  int64
+	NANDWritePages int64 // actual page programs, including GC migration
+	GCCopiedPages  int64
+	GCErasedBlocks int64
+	GCRuns         int64
+	GCBusy         sim.Duration // die time consumed by GC reads/programs/erases
+}
+
+// WAF reports the write amplification factor (1.0 when no host writes yet).
+func (s Stats) WAF() float64 {
+	if s.HostWritePages == 0 {
+		return 1
+	}
+	return float64(s.NANDWritePages) / float64(s.HostWritePages)
+}
+
+// GCEvent records one garbage-collection run for inspection and plotting.
+type GCEvent struct {
+	At          sim.Time
+	Die         int
+	VictimBlock int
+	ValidCopied int
+	Done        sim.Time
+}
+
+// Config tunes the FTL.
+type Config struct {
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// (default 1/8). More OP means less GC pressure.
+	OverProvision float64
+	// GCFreeBlocksLow is the per-die free-block threshold at which
+	// foreground GC triggers (default 2).
+	GCFreeBlocksLow int
+	// GCEventLogLimit bounds the retained GC event log (default 4096).
+	GCEventLogLimit int
+}
+
+func (c *Config) fillDefaults() {
+	if c.OverProvision <= 0 || c.OverProvision >= 1 {
+		c.OverProvision = 1.0 / 8
+	}
+	if c.GCFreeBlocksLow <= 0 {
+		c.GCFreeBlocksLow = 2
+	}
+	if c.GCEventLogLimit <= 0 {
+		c.GCEventLogLimit = 4096
+	}
+}
+
+type blockMeta struct {
+	valid int // count of valid pages
+}
+
+type dieState struct {
+	free   []int // free block indices (LIFO)
+	active int   // block currently being programmed, -1 if none
+}
+
+// FTL is the conventional page-mapped translation layer. Not safe for
+// concurrent use; simulation context only.
+type FTL struct {
+	arr *nand.Array
+	cfg Config
+
+	usableLPAs int64
+	l2p        []nand.PPA // LPA -> PPA, InvalidPPA when unmapped
+	p2l        []int64    // PPA -> LPA, -1 when page invalid/free
+	blocks     []blockMeta
+	dies       []dieState
+	nextDie    int // round-robin write striping across dies
+
+	stats  Stats
+	gcLog  []GCEvent
+	inGC   bool
+	pageSz int
+}
+
+// New builds an FTL over a fresh array.
+func New(arr *nand.Array, cfg Config) *FTL {
+	cfg.fillDefaults()
+	geo := arr.Geometry()
+	// Usable capacity honors the over-provisioning ratio, and additionally
+	// always reserves enough physical headroom per die for GC to make
+	// progress (threshold+1 blocks), whichever is smaller.
+	usable := int64(float64(geo.Pages()) * (1 - cfg.OverProvision))
+	reserve := geo.Pages() - int64(geo.Dies()*(cfg.GCFreeBlocksLow+1)*geo.PagesPerBlock)
+	if reserve < usable {
+		usable = reserve
+	}
+	if usable < 1 {
+		usable = 1
+	}
+	f := &FTL{
+		arr:        arr,
+		cfg:        cfg,
+		usableLPAs: usable,
+		l2p:        make([]nand.PPA, geo.Pages()),
+		p2l:        make([]int64, geo.Pages()),
+		blocks:     make([]blockMeta, geo.Blocks()),
+		dies:       make([]dieState, geo.Dies()),
+		pageSz:     geo.PageSize,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = nand.InvalidPPA
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	for d := range f.dies {
+		f.dies[d].active = -1
+		// LIFO free list: push in reverse so block 0 pops first.
+		for b := geo.BlocksPerDie - 1; b >= 0; b-- {
+			f.dies[d].free = append(f.dies[d].free, b)
+		}
+	}
+	return f
+}
+
+// Capacity reports the number of host-visible logical pages.
+func (f *FTL) Capacity() int64 { return f.usableLPAs }
+
+// PageSize reports the page size in bytes.
+func (f *FTL) PageSize() int { return f.pageSz }
+
+// Stats returns cumulative counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// GCLog returns the retained GC events (oldest first).
+func (f *FTL) GCLog() []GCEvent { return f.gcLog }
+
+// FreeBlocks reports the total free blocks across all dies.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for d := range f.dies {
+		n += len(f.dies[d].free)
+	}
+	return n
+}
+
+func (f *FTL) checkLPA(lpa int64) error {
+	if lpa < 0 || lpa >= f.usableLPAs {
+		return fmt.Errorf("ftl: LPA %d out of range [0,%d)", lpa, f.usableLPAs)
+	}
+	return nil
+}
+
+// invalidate drops the current mapping of lpa, if any.
+func (f *FTL) invalidate(lpa int64) {
+	old := f.l2p[lpa]
+	if old == nand.InvalidPPA {
+		return
+	}
+	f.l2p[lpa] = nand.InvalidPPA
+	f.p2l[old] = -1
+	f.blocks[f.arr.BlockOf(old)].valid--
+}
+
+// allocPage returns the next physical page of the round-robin write front,
+// running foreground GC first if the chosen die is out of headroom.
+// The pid argument is ignored here (single mixed stream); it exists so the
+// signature matches the FDP FTL and call sites read identically.
+func (f *FTL) allocPage(now sim.Time) (nand.PPA, sim.Time, error) {
+	die := f.nextDie
+	f.nextDie = (f.nextDie + 1) % len(f.dies)
+
+	gcDone := now
+	if !f.inGC {
+		// Emergency: a die with no free block must collect until one frees
+		// up. Each run nets at least one page of space as long as any
+		// victim is below 100% valid, so the loop terminates; the iteration
+		// cap catches modelling bugs.
+		maxIters := 8 * f.arr.Geometry().PagesPerBlock
+		for iter := 0; len(f.dies[die].free) == 0; iter++ {
+			if iter > maxIters {
+				return nand.InvalidPPA, now, fmt.Errorf("ftl: GC on die %d made no progress after %d runs", die, iter)
+			}
+			done, reclaimed, err := f.collect(gcDone, die)
+			if err != nil {
+				return nand.InvalidPPA, now, err
+			}
+			if !reclaimed {
+				break
+			}
+			gcDone = done
+		}
+		// Below the watermark, collect one victim per allocation: the
+		// foreground-GC stalls spread across host writes instead of
+		// bursting, which is how real controllers behave under sustained
+		// pressure.
+		if len(f.dies[die].free) <= f.cfg.GCFreeBlocksLow {
+			done, _, err := f.collect(gcDone, die)
+			if err != nil {
+				return nand.InvalidPPA, now, err
+			}
+			gcDone = done
+		}
+	}
+
+	ds := &f.dies[die]
+	if ds.active < 0 {
+		if len(ds.free) == 0 {
+			return nand.InvalidPPA, now, fmt.Errorf("ftl: die %d out of blocks (device full)", die)
+		}
+		ds.active = ds.free[len(ds.free)-1]
+		ds.free = ds.free[:len(ds.free)-1]
+	}
+	page := f.arr.NextProgramPage(die, ds.active)
+	ppa := f.arr.PPAOf(die, ds.active, page)
+	if page == f.arr.Geometry().PagesPerBlock-1 {
+		ds.active = -1 // block full after this program
+	}
+	return ppa, gcDone, nil
+}
+
+// collect reclaims one block on die using greedy (min-valid) victim
+// selection. Valid pages are migrated to the same die's write front so GC
+// stays die-local. It reports whether a victim was reclaimed, and the
+// virtual time at which the die is available again for host work.
+func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	geo := f.arr.Geometry()
+	ds := &f.dies[die]
+
+	// Greedy victim: fewest valid pages among full (non-active, non-free)
+	// blocks of this die.
+	victim, victimValid := -1, geo.PagesPerBlock+1
+	isFree := make(map[int]bool, len(ds.free))
+	for _, b := range ds.free {
+		isFree[b] = true
+	}
+	for b := 0; b < geo.BlocksPerDie; b++ {
+		if b == ds.active || isFree[b] {
+			continue
+		}
+		if f.arr.NextProgramPage(die, b) < geo.PagesPerBlock {
+			continue // still being filled; not a GC candidate
+		}
+		if v := f.blocks[die*geo.BlocksPerDie+b].valid; v < victimValid {
+			victim, victimValid = b, v
+		}
+	}
+	if victim < 0 {
+		return now, false, nil // nothing reclaimable yet
+	}
+
+	gcStart := now
+	end := now
+	copied := 0
+	for p := 0; p < geo.PagesPerBlock; p++ {
+		src := f.arr.PPAOf(die, victim, p)
+		lpa := f.p2l[src]
+		if lpa < 0 {
+			continue
+		}
+		data, rdone, err := f.arr.Read(now, src)
+		if err != nil {
+			return now, false, fmt.Errorf("ftl: GC read: %w", err)
+		}
+		// Migrate within this die: pull the destination from the die's own
+		// write front (allocating a fresh block if needed).
+		dst, err := f.allocPageOnDie(die)
+		if err != nil {
+			return now, false, fmt.Errorf("ftl: GC alloc: %w", err)
+		}
+		wdone, err := f.arr.Program(rdone, dst, data)
+		if err != nil {
+			return now, false, fmt.Errorf("ftl: GC program: %w", err)
+		}
+		if wdone > end {
+			end = wdone
+		}
+		// Remap.
+		f.p2l[src] = -1
+		f.blocks[die*geo.BlocksPerDie+victim].valid--
+		f.l2p[lpa] = dst
+		f.p2l[dst] = lpa
+		f.blocks[f.arr.BlockOf(dst)].valid++
+		copied++
+		f.stats.NANDWritePages++
+		f.stats.GCCopiedPages++
+	}
+	edone, err := f.arr.Erase(end, die, victim)
+	if err != nil {
+		return now, false, fmt.Errorf("ftl: GC erase: %w", err)
+	}
+	ds.free = append(ds.free, victim)
+
+	f.stats.GCErasedBlocks++
+	f.stats.GCRuns++
+	f.stats.GCBusy += edone.Sub(gcStart)
+	if len(f.gcLog) < f.cfg.GCEventLogLimit {
+		f.gcLog = append(f.gcLog, GCEvent{
+			At: gcStart, Die: die, VictimBlock: victim, ValidCopied: copied, Done: edone,
+		})
+	}
+	return edone, true, nil
+}
+
+// allocPageOnDie hands out the next write-front page of a specific die
+// without triggering GC (used by GC migration itself).
+func (f *FTL) allocPageOnDie(die int) (nand.PPA, error) {
+	ds := &f.dies[die]
+	if ds.active < 0 {
+		if len(ds.free) == 0 {
+			return nand.InvalidPPA, fmt.Errorf("ftl: die %d out of blocks during GC", die)
+		}
+		ds.active = ds.free[len(ds.free)-1]
+		ds.free = ds.free[:len(ds.free)-1]
+	}
+	page := f.arr.NextProgramPage(die, ds.active)
+	ppa := f.arr.PPAOf(die, ds.active, page)
+	if page == f.arr.Geometry().PagesPerBlock-1 {
+		ds.active = -1
+	}
+	return ppa, nil
+}
+
+// Write stores one page of data at lpa. The pid placement hint is accepted
+// for interface compatibility and deliberately ignored: a conventional SSD
+// has no way to honor it, which is exactly the deficiency FDP addresses.
+func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
+	_ = pid
+	if err := f.checkLPA(lpa); err != nil {
+		return now, err
+	}
+	ppa, ready, err := f.allocPage(now)
+	if err != nil {
+		return now, err
+	}
+	f.invalidate(lpa)
+	done, err = f.arr.Program(ready, ppa, data)
+	if err != nil {
+		return now, err
+	}
+	f.l2p[lpa] = ppa
+	f.p2l[ppa] = lpa
+	f.blocks[f.arr.BlockOf(ppa)].valid++
+	f.stats.HostWritePages++
+	f.stats.NANDWritePages++
+	return done, nil
+}
+
+// Read returns the page stored at lpa.
+func (f *FTL) Read(now sim.Time, lpa int64) (data []byte, done sim.Time, err error) {
+	if err := f.checkLPA(lpa); err != nil {
+		return nil, now, err
+	}
+	ppa := f.l2p[lpa]
+	if ppa == nand.InvalidPPA {
+		return nil, now, fmt.Errorf("ftl: read of unmapped LPA %d", lpa)
+	}
+	f.stats.HostReadPages++
+	return f.arr.Read(now, ppa)
+}
+
+// Deallocate (TRIM) invalidates count LPAs starting at lpa, telling the
+// device their contents are dead. This is how the host communicates data
+// lifetime ends; without it GC would treat stale WAL/snapshot pages as live.
+func (f *FTL) Deallocate(lpa, count int64) error {
+	if count < 0 || lpa < 0 || lpa+count > f.usableLPAs {
+		return fmt.Errorf("ftl: deallocate range [%d,%d) out of bounds", lpa, lpa+count)
+	}
+	for i := int64(0); i < count; i++ {
+		f.invalidate(lpa + i)
+	}
+	return nil
+}
+
+// Mapped reports whether lpa currently holds data.
+func (f *FTL) Mapped(lpa int64) bool {
+	return lpa >= 0 && lpa < f.usableLPAs && f.l2p[lpa] != nand.InvalidPPA
+}
+
+// BaseStats returns Stats under the name shared with the FDP FTL, so both
+// device types satisfy one interface.
+func (f *FTL) BaseStats() Stats { return f.stats }
+
+// Array exposes the NAND array beneath the FTL.
+func (f *FTL) Array() *nand.Array { return f.arr }

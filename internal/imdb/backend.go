@@ -1,0 +1,90 @@
+// Package imdb implements the Redis-like in-memory database engine the
+// paper instruments: a key/value store served by a single event-loop
+// process, persisted through a pluggable backend by the combination of a
+// write-ahead log (Periodical-Log or Always-Log policy) and fork-based
+// snapshots (WAL-Snapshots triggered by log growth, On-Demand-Snapshots
+// triggered by the operator), with copy-on-write memory accounting.
+//
+// Two backends exist: internal/baseline (files on the simulated kernel I/O
+// path) and internal/core (SlimIO: io_uring passthru onto raw LBA space).
+package imdb
+
+import "github.com/slimio/slimio/internal/sim"
+
+// SnapshotKind distinguishes the paper's two snapshot types.
+type SnapshotKind int
+
+const (
+	// WALSnapshot bounds WAL growth; completing one supersedes and deletes
+	// the previous WAL and WAL-Snapshot.
+	WALSnapshot SnapshotKind = iota
+	// OnDemandSnapshot is an operator-requested point-in-time backup with a
+	// long lifetime.
+	OnDemandSnapshot
+)
+
+func (k SnapshotKind) String() string {
+	if k == OnDemandSnapshot {
+		return "on-demand"
+	}
+	return "wal"
+}
+
+// SnapshotSink receives a snapshot image chunk by chunk. Write is called
+// from the snapshot process; Commit makes the image durable and atomically
+// promotes it to the valid snapshot of its kind (superseding the previous
+// one); Abort discards a partial image.
+type SnapshotSink interface {
+	Write(env *sim.Env, chunk []byte) error
+	Commit(env *sim.Env) error
+	Abort(env *sim.Env) error
+}
+
+// Recovered is the durable state a backend reconstructs at startup.
+type Recovered struct {
+	// HaveSnapshot reports whether a snapshot image was found.
+	HaveSnapshot bool
+	// Kind is the kind of the recovered snapshot (the paper recovers either
+	// the WAL-Snapshot plus the WAL, or an On-Demand-Snapshot alone).
+	Kind SnapshotKind
+	// Snapshot is the raw snapshot image.
+	Snapshot []byte
+	// WALSegments are the durable log segments in append order (a sealed
+	// pre-fork segment, if a WAL-Snapshot was in flight at the crash, then
+	// the current segment). Each may have its own torn tail.
+	WALSegments [][]byte
+}
+
+// Backend is the persistence substrate: everything below the engine's
+// buffers. Implementations decide how bytes reach storage (kernel path vs
+// I/O passthru) and how space is managed (files vs raw LBA regions).
+type Backend interface {
+	// Label names the backend for reports.
+	Label() string
+
+	// WALAppend writes log bytes at the tail of the current log segment.
+	// Durability is only guaranteed after WALSync returns.
+	WALAppend(env *sim.Env, data []byte) error
+	// WALSync makes all appended WAL bytes durable.
+	WALSync(env *sim.Env) error
+	// WALDurableSize reports bytes appended to the current log segment
+	// (the WAL-Snapshot trigger measures growth since the last rotation).
+	WALDurableSize() int64
+	// WALRotate seals the current log segment and starts a new one. The
+	// engine rotates at the fork point of a WAL-Snapshot (Redis 7's
+	// multipart AOF): post-fork records land in the new segment, and no
+	// replay is needed when the snapshot completes.
+	WALRotate(env *sim.Env) error
+	// WALDiscardOld drops every sealed segment, keeping only the current
+	// one — called once a WAL-Snapshot commit makes the old log obsolete.
+	WALDiscardOld(env *sim.Env) error
+
+	// BeginSnapshot opens a sink for a new snapshot image of the given
+	// kind. At most one snapshot is in flight at a time (engine-enforced,
+	// mirroring Redis).
+	BeginSnapshot(env *sim.Env, kind SnapshotKind) (SnapshotSink, error)
+
+	// Recover loads the durable state (used at startup and in the paper's
+	// recovery experiment, Table 5).
+	Recover(env *sim.Env) (*Recovered, error)
+}

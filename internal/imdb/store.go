@@ -1,0 +1,138 @@
+package imdb
+
+// pageSpan is the range of memory pages backing one key's value.
+type pageSpan struct {
+	start int64
+	n     int64
+}
+
+// Store is the in-memory keyspace: a hash map plus an insertion-ordered key
+// list (for deterministic snapshot iteration) and a page map used by the
+// copy-on-write model. Values are stored by reference; callers must not
+// mutate slices they pass in.
+type Store struct {
+	vals map[string][]byte
+	// keys preserves insertion order for deterministic snapshot iteration;
+	// deleted keys leave tombstones (skipped by the snapshot writer), and
+	// listed prevents re-inserted keys from being listed twice.
+	keys     []string
+	listed   map[string]struct{}
+	spans    map[string]pageSpan
+	bytes    int64
+	pageSize int64
+	nextPage int64
+
+	// COW bookkeeping: a page with epoch[p] == currentEpoch has already
+	// been copied since the last fork.
+	epoch     []int32
+	curEpoch  int32
+	copiedNow int64
+}
+
+// NewStore returns an empty store with the given COW page size.
+func NewStore(pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &Store{
+		vals:     make(map[string][]byte),
+		listed:   make(map[string]struct{}),
+		spans:    make(map[string]pageSpan),
+		pageSize: int64(pageSize),
+	}
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int { return len(s.vals) }
+
+// ListedLen reports the snapshot-iteration index range (live keys plus
+// tombstones).
+func (s *Store) ListedLen() int { return len(s.keys) }
+
+// Bytes reports the sum of key+value payload bytes.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// Pages reports resident memory pages (for fork cost).
+func (s *Store) Pages() int64 { return s.nextPage }
+
+// Get returns the value for key, or nil.
+func (s *Store) Get(key string) []byte { return s.vals[key] }
+
+// Set stores value under key, returning whether the key is new and the page
+// span now backing it. Values that grow get a fresh span (old pages are
+// simply abandoned, approximating allocator churn).
+func (s *Store) Set(key string, value []byte) (isNew bool, span pageSpan) {
+	old, exists := s.vals[key]
+	if !exists {
+		if _, ok := s.listed[key]; !ok {
+			s.keys = append(s.keys, key)
+			s.listed[key] = struct{}{}
+		}
+		s.bytes += int64(len(key))
+		isNew = true
+	} else {
+		s.bytes -= int64(len(old))
+	}
+	s.bytes += int64(len(value))
+	s.vals[key] = value
+
+	need := (int64(len(value)) + s.pageSize - 1) / s.pageSize
+	if need == 0 {
+		need = 1
+	}
+	sp, ok := s.spans[key]
+	if !ok || sp.n < need {
+		sp = pageSpan{start: s.nextPage, n: need}
+		s.nextPage += need
+		s.spans[key] = sp
+	}
+	return isNew, sp
+}
+
+// Delete removes key, returning whether it existed and the page span it
+// occupied (for COW accounting). The insertion-order key list keeps a
+// tombstone so snapshot iteration indexes stay stable; Get returns nil for
+// deleted keys and the snapshot writer skips them.
+func (s *Store) Delete(key string) (existed bool, span pageSpan) {
+	old, ok := s.vals[key]
+	if !ok {
+		return false, pageSpan{}
+	}
+	s.bytes -= int64(len(old)) + int64(len(key))
+	delete(s.vals, key)
+	span = s.spans[key]
+	delete(s.spans, key)
+	return true, span
+}
+
+// KeyAt returns the i-th key in insertion order.
+func (s *Store) KeyAt(i int) string { return s.keys[i] }
+
+// BeginCOWEpoch starts a new fork epoch: every page becomes "shared" again.
+func (s *Store) BeginCOWEpoch() {
+	s.curEpoch++
+	s.copiedNow = 0
+}
+
+// TouchPages marks span's pages written in the current epoch and returns
+// how many of them needed a copy-on-write fault.
+func (s *Store) TouchPages(span pageSpan) int64 {
+	for int64(len(s.epoch)) < s.nextPage {
+		s.epoch = append(s.epoch, 0)
+	}
+	var copied int64
+	for p := span.start; p < span.start+span.n; p++ {
+		if s.epoch[p] != s.curEpoch {
+			s.epoch[p] = s.curEpoch
+			copied++
+		}
+	}
+	s.copiedNow += copied
+	return copied
+}
+
+// CopiedPages reports pages copied in the current epoch.
+func (s *Store) CopiedPages() int64 { return s.copiedNow }
+
+// PageSize reports the COW page size.
+func (s *Store) PageSize() int64 { return s.pageSize }

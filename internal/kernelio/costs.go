@@ -1,0 +1,117 @@
+// Package kernelio models the traditional Linux kernel I/O path that the
+// paper's baseline rides: POSIX syscalls with user↔kernel copies, a page
+// cache with dirty-ratio writeback throttling, a journaling filesystem whose
+// lock is shared by all writers, and a block-layer I/O scheduler.
+//
+// The model reproduces the four baseline pathologies analysed in §3.1 of the
+// paper as explicit mechanisms:
+//
+//  1. syscall overhead — per-call entry cost plus copy bandwidth (§3.1.1);
+//  2. filesystem scalability — a journal lock every writer contends on
+//     (§3.1.2, Table 2);
+//  3. pattern-blindness — frequent small writes pay per-call costs and
+//     throttling that one large buffered write amortizes (§3.1.3);
+//  4. no lifetime control — all data funnels into the device as one stream,
+//     so a conventional FTL mixes lifetimes and GC copies valid data
+//     (§3.1.4).
+package kernelio
+
+import "github.com/slimio/slimio/internal/sim"
+
+// Costs are the filesystem-independent path constants. Defaults are in the
+// range reported by storage-API studies on modern kernels (Didona et al.,
+// SYSTOR'22; Ren & Trivedi, CHEOPS'23), chosen so that the kernel path
+// consumes ~15% of a snapshot's duration when running alone, matching
+// Figure 2a of the paper.
+type Costs struct {
+	// SyscallEntry is charged on every read/write/fsync call: mode switch,
+	// entry/exit bookkeeping, VFS dispatch.
+	SyscallEntry sim.Duration
+	// CopyBandwidth is the user↔kernel memcpy rate in bytes/second.
+	CopyBandwidth int64
+	// DispatchCPU is the block-layer cost to dispatch one request
+	// (blk-mq tag allocation, plug/unplug, scheduler bookkeeping).
+	DispatchCPU sim.Duration
+	// WritebackBatch is the number of dirty pages the background flusher
+	// writes per device command.
+	WritebackBatch int
+	// WritebackQD is how many writeback commands the flusher keeps in
+	// flight; the pipeline is what lets the page cache ride out device
+	// hiccups (GC bursts) that stall direct writers.
+	WritebackQD int
+	// DirtyBackgroundPages starts background writeback.
+	DirtyBackgroundPages int
+	// DirtyThrottlePages blocks writers until writeback drains below it.
+	DirtyThrottlePages int
+	// ReadAheadPages is the page-cache readahead window for sequential reads.
+	ReadAheadPages int
+}
+
+// DefaultCosts returns the calibrated path constants.
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallEntry:         1200 * sim.Nanosecond,
+		CopyBandwidth:        2 << 30, // 2 GiB/s effective (page alloc + accounting)
+		DispatchCPU:          2 * sim.Microsecond,
+		WritebackBatch:       64,
+		WritebackQD:          4,
+		DirtyBackgroundPages: 1024, // 4 MiB at 4 KiB pages
+		DirtyThrottlePages:   4096, // 16 MiB
+		ReadAheadPages:       32,
+	}
+}
+
+// Profile captures how a specific filesystem behaves on the write path. The
+// two profiles mirror the paper's Table 1 pairing: EXT4 (ordered journaling,
+// a jbd2 handle on every write and a heavier commit) and F2FS (log-
+// structured, lighter per-op metadata but still a shared lock).
+type Profile struct {
+	Name string
+	// HandleHold is CPU spent under the journal lock on every write call
+	// (jbd2 handle start/stop for EXT4, curseg lock for F2FS).
+	HandleHold sim.Duration
+	// CommitHold is CPU spent under the journal lock at each fsync commit.
+	CommitHold sim.Duration
+	// CommitPages is the number of metadata pages durably written per
+	// fsync commit (journal descriptor+commit blocks / node blocks).
+	CommitPages int
+	// PerOpCPU is write-path bookkeeping outside the lock (extent lookup,
+	// dirty accounting) per call.
+	PerOpCPU sim.Duration
+	// PerPageCPU is charged for every page dirtied by a call.
+	PerPageCPU sim.Duration
+}
+
+// EXT4 returns the ext4-like profile.
+func EXT4() Profile {
+	return Profile{
+		Name:        "ext4",
+		HandleHold:  900 * sim.Nanosecond,
+		CommitHold:  6 * sim.Microsecond,
+		CommitPages: 2,
+		PerOpCPU:    1500 * sim.Nanosecond,
+		PerPageCPU:  350 * sim.Nanosecond,
+	}
+}
+
+// F2FS returns the f2fs-like profile: better but not perfect scalability
+// (paper §3.1.2).
+func F2FS() Profile {
+	return Profile{
+		Name:        "f2fs",
+		HandleHold:  500 * sim.Nanosecond,
+		CommitHold:  4 * sim.Microsecond,
+		CommitPages: 1,
+		PerOpCPU:    1300 * sim.Nanosecond,
+		PerPageCPU:  300 * sim.Nanosecond,
+	}
+}
+
+// CPU billing tags used with sim.Env.Work so experiments can attribute
+// process busy time (Table 2 reports the "fs" share of the snapshot
+// process).
+const (
+	TagSyscall = "syscall"
+	TagCopy    = "copy"
+	TagFS      = "fs"
+)

@@ -1,0 +1,675 @@
+package kernelio
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+)
+
+// extentPages is the allocation granule: files grow by whole extents of
+// device pages, which keeps sequential file data sequential in LBA space.
+const extentPages = 64
+
+// metaPages is the LBA region reserved at the front of the device for the
+// filesystem journal / checkpoint area, written cyclically at every commit.
+const metaPages = 64
+
+// FSStats aggregates filesystem counters.
+type FSStats struct {
+	Syscalls        int64
+	BytesWritten    int64
+	BytesRead       int64
+	Commits         int64
+	WritebackPages  int64
+	CacheHits       int64
+	CacheMisses     int64
+	ThrottleStalls  int64
+	ThrottleTime    sim.Duration
+	JournalLockWait sim.Duration
+}
+
+type cachePage struct {
+	data     []byte
+	dirty    bool
+	inflight bool
+}
+
+// File is an open file on the simulated filesystem. Dirty pages are never
+// evicted and clean pages only via DropCaches, so partial-page rewrites
+// always find their page cached — sufficient for the append-dominated access
+// pattern of database persistence. Not safe for use outside simulation
+// context.
+type File struct {
+	fs      *Filesystem
+	name    string
+	size    int64
+	extents []int64 // base LPA per extent, in file order
+	pages   map[int64]*cachePage
+	// dirtyIdx preserves dirty-page order for deterministic flushing.
+	dirtyIdx  []int64
+	inflightN int
+	// flushSeq counts writeback completions, so fsync can wait for exactly
+	// the in-flight pages that preceded it instead of chasing a file that
+	// is continuously re-dirtied.
+	flushSeq  int64
+	flushDone *sim.Broadcast
+	deleted   bool
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+type dirtyRef struct {
+	f   *File
+	idx int64
+}
+
+// Filesystem simulates a journaling filesystem (EXT4- or F2FS-profiled) over
+// a Device, complete with page cache, background writeback, dirty
+// throttling, and a journal lock shared by every writer — the shared kernel
+// I/O path of the paper's baseline.
+type Filesystem struct {
+	eng   *sim.Engine
+	dev   *ssd.Device
+	sched *Scheduler
+	costs Costs
+	prof  Profile
+
+	journal *sim.Resource
+	files   map[string]*File
+
+	freeExtents []int64
+	freshCursor int64
+
+	metaCursor int64
+
+	dirtyQ     []dirtyRef
+	dirtyCount int
+	wbKick     *sim.Broadcast
+	drained    *sim.Broadcast
+
+	// group-commit state
+	nextTicket int64
+	commitSeq  int64
+	committing bool
+	commitDone *sim.Broadcast
+	stats      FSStats
+
+	// placementHint, when set, tags each file's device writes with an FDP
+	// placement ID derived from its name — modelling an FDP-aware
+	// filesystem (Chen et al., "FDPFS"). Nil leaves all writes on PID 0.
+	placementHint func(fileName string) uint32
+}
+
+// NewFilesystem mounts a fresh filesystem on dev, using the given scheduler
+// mode. The first metaPages LPAs hold the journal; the rest is data space.
+func NewFilesystem(eng *sim.Engine, dev *ssd.Device, prof Profile, mode SchedMode, costs Costs) *Filesystem {
+	fs := &Filesystem{
+		eng:         eng,
+		dev:         dev,
+		sched:       NewScheduler(eng, dev, mode, costs),
+		costs:       costs,
+		prof:        prof,
+		journal:     sim.NewResource(eng, 1),
+		files:       make(map[string]*File),
+		freshCursor: metaPages,
+		wbKick:      sim.NewBroadcast(eng),
+		drained:     sim.NewBroadcast(eng),
+		commitDone:  sim.NewBroadcast(eng),
+		nextTicket:  1, // commitSeq starts at 0, so the first fsync commits
+	}
+	eng.SpawnDaemon("writeback:"+prof.Name, fs.writeback)
+	return fs
+}
+
+// Device exposes the underlying device (for stats).
+func (fs *Filesystem) Device() *ssd.Device { return fs.dev }
+
+// SetPlacementHint installs a per-file placement-ID function, making this an
+// FDP-aware filesystem (used by the FDP-only ablation). Pass nil to disable.
+func (fs *Filesystem) SetPlacementHint(fn func(fileName string) uint32) { fs.placementHint = fn }
+
+// pidOf resolves a file's placement ID.
+func (fs *Filesystem) pidOf(name string) uint32 {
+	if fs.placementHint == nil {
+		return 0
+	}
+	return fs.placementHint(name)
+}
+
+// Scheduler exposes the block-layer scheduler (for stats).
+func (fs *Filesystem) Scheduler() *Scheduler { return fs.sched }
+
+// Profile reports the mounted filesystem profile.
+func (fs *Filesystem) Profile() Profile { return fs.prof }
+
+// Stats returns cumulative filesystem counters.
+func (fs *Filesystem) Stats() FSStats { return fs.stats }
+
+// DirtyPages reports pages awaiting writeback.
+func (fs *Filesystem) DirtyPages() int { return fs.dirtyCount }
+
+func (fs *Filesystem) pageSize() int64 { return int64(fs.dev.PageSize()) }
+
+// allocExtent hands out one extent, reusing freed ones first.
+func (fs *Filesystem) allocExtent() (int64, error) {
+	if n := len(fs.freeExtents); n > 0 {
+		base := fs.freeExtents[n-1]
+		fs.freeExtents = fs.freeExtents[:n-1]
+		return base, nil
+	}
+	if fs.freshCursor+extentPages > fs.dev.Capacity() {
+		return 0, fmt.Errorf("kernelio: filesystem full (ENOSPC)")
+	}
+	base := fs.freshCursor
+	fs.freshCursor += extentPages
+	return base, nil
+}
+
+// Create makes a new empty file. Creating an existing name is an error.
+func (fs *Filesystem) Create(name string) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("kernelio: file %q exists", name)
+	}
+	f := &File{
+		fs:        fs,
+		name:      name,
+		pages:     make(map[int64]*cachePage),
+		flushDone: sim.NewBroadcast(fs.eng),
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *Filesystem) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("kernelio: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether name exists.
+func (fs *Filesystem) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// lpaOf maps a file page index to its device LPA, growing the file as
+// needed.
+func (f *File) lpaOf(idx int64) (int64, error) {
+	for int64(len(f.extents))*extentPages <= idx {
+		base, err := f.fs.allocExtent()
+		if err != nil {
+			return 0, err
+		}
+		f.extents = append(f.extents, base)
+	}
+	return f.extents[idx/extentPages] + idx%extentPages, nil
+}
+
+// Write implements the write(2) path: syscall entry, journal handle under
+// the shared lock, user→kernel copy into the page cache, dirty accounting,
+// and dirty-ratio throttling. It returns when the data is in the page cache
+// (durability requires Fsync).
+func (f *File) Write(env *sim.Env, off int64, data []byte) error {
+	if f.deleted {
+		return fmt.Errorf("kernelio: write to deleted file %q", f.name)
+	}
+	if off < 0 {
+		return fmt.Errorf("kernelio: negative offset %d", off)
+	}
+	fs := f.fs
+	fs.stats.Syscalls++
+	fs.stats.BytesWritten += int64(len(data))
+	env.Work(TagSyscall, fs.costs.SyscallEntry)
+
+	// The filesystem write lock (jbd2 handle / f2fs curseg) is held across
+	// the whole buffered write — the §3.1.2 scalability bottleneck when two
+	// processes write at once. A contended acquisition additionally burns
+	// CPU in the optimistic-spin slow path, which is what inflates the
+	// snapshot process's in-filesystem CPU share under concurrent WAL
+	// traffic (Table 2).
+	t0 := env.Now()
+	fs.journal.Acquire(env)
+	waited := env.Now().Sub(t0)
+	fs.stats.JournalLockWait += waited
+	if spin := waited; spin > 0 {
+		if spin > 20*sim.Microsecond {
+			spin = 20 * sim.Microsecond
+		}
+		env.Work(TagFS, spin)
+	}
+	env.Work(TagFS, fs.prof.HandleHold)
+
+	// Under dirty-page pressure the write path slows down: every page
+	// dirtied runs balance_dirty_pages, allocator slow paths, and contended
+	// tree updates. Model it as a cost multiplier that grows with the
+	// dirty ratio.
+	press := float64(fs.dirtyCount) / float64(fs.costs.DirtyThrottlePages)
+	if press > 1 {
+		press = 1
+	}
+	mult := 1 + 0.6*press
+
+	// Copy user buffer into the cache (under the write lock).
+	copyCost := sim.DurationForBytes(int64(len(data)), fs.costs.CopyBandwidth)
+	env.Work(TagCopy, sim.Duration(float64(copyCost)*mult))
+
+	ps := fs.pageSize()
+	firstIdx := off / ps
+	lastIdx := (off + int64(len(data)) - 1) / ps
+	if len(data) == 0 {
+		lastIdx = firstIdx - 1
+	}
+	nPages := lastIdx - firstIdx + 1
+	fsCost := fs.prof.PerOpCPU + fs.prof.PerPageCPU*sim.Duration(nPages)
+	env.Work(TagFS, sim.Duration(float64(fsCost)*mult))
+
+	// Reserve all blocks up front so ENOSPC is atomic: a failed write must
+	// leave no partial data behind (callers retry the whole buffer).
+	if lastIdx >= firstIdx {
+		if _, err := f.lpaOf(lastIdx); err != nil {
+			fs.journal.Release()
+			return err
+		}
+	}
+	fs.journal.Release()
+
+	pos := 0
+	for idx := firstIdx; idx <= lastIdx; idx++ {
+		pg := f.pages[idx]
+		if pg == nil {
+			pg = &cachePage{data: make([]byte, ps)}
+			f.pages[idx] = pg
+		}
+		pageOff := off + int64(pos) - idx*ps
+		n := copy(pg.data[pageOff:], data[pos:])
+		pos += n
+		if !pg.dirty {
+			pg.dirty = true
+			f.dirtyIdx = append(f.dirtyIdx, idx)
+			fs.dirtyQ = append(fs.dirtyQ, dirtyRef{f, idx})
+			fs.dirtyCount++
+		}
+	}
+	if off+int64(len(data)) > f.size {
+		f.size = off + int64(len(data))
+	}
+
+	if fs.dirtyCount >= fs.costs.DirtyBackgroundPages {
+		fs.wbKick.Notify()
+	}
+	// Dirty throttling: block the writer until writeback drains. This is
+	// what punishes the snapshot process's high dirtying rate (§3.1.3).
+	for fs.dirtyCount >= fs.costs.DirtyThrottlePages {
+		fs.stats.ThrottleStalls++
+		t := env.Now()
+		fs.wbKick.Notify()
+		fs.drained.Wait(env)
+		fs.stats.ThrottleTime += env.Now().Sub(t)
+	}
+	return nil
+}
+
+// Append writes data at the current end of file.
+func (f *File) Append(env *sim.Env, data []byte) error {
+	return f.Write(env, f.size, data)
+}
+
+// collectDirty pulls up to max dirty pages of this file (in dirty order),
+// marking them in flight, and returns the device writes plus the cache pages
+// to un-flag once the device completes.
+func (f *File) collectDirty(max int) ([]ssd.PageWrite, []*cachePage) {
+	var out []ssd.PageWrite
+	var flushed []*cachePage
+	keep := f.dirtyIdx[:0]
+	for i, idx := range f.dirtyIdx {
+		if len(out) >= max {
+			keep = append(keep, f.dirtyIdx[i])
+			continue
+		}
+		pg := f.pages[idx]
+		if pg == nil || !pg.dirty {
+			continue
+		}
+		lpa, err := f.lpaOf(idx)
+		if err != nil {
+			continue // extent was already allocated at Write time
+		}
+		pg.dirty = false
+		pg.inflight = true
+		f.inflightN++
+		f.fs.dirtyCount--
+		data := make([]byte, len(pg.data))
+		copy(data, pg.data)
+		out = append(out, ssd.PageWrite{LPA: lpa, Data: data, PID: f.fs.pidOf(f.name)})
+		flushed = append(flushed, pg)
+	}
+	f.dirtyIdx = keep
+	return out, flushed
+}
+
+// Fsync implements fsync(2): flush this file's dirty pages with synchronous
+// priority, wait for any writeback already in flight, then run (or join) a
+// journal commit. Group commit semantics: concurrent fsyncs share one
+// commit, as jbd2 does.
+func (f *File) Fsync(env *sim.Env) error {
+	if f.deleted {
+		return fmt.Errorf("kernelio: fsync of deleted file %q", f.name)
+	}
+	fs := f.fs
+	fs.stats.Syscalls++
+	env.Work(TagSyscall, fs.costs.SyscallEntry)
+	ticket := fs.nextTicket
+	fs.nextTicket++
+
+	// Flush our dirty pages (sync priority, batched).
+	for {
+		batch, flushed := f.collectDirty(fs.costs.WritebackBatch)
+		if len(batch) == 0 {
+			break
+		}
+		req := fs.sched.Submit(batch, true)
+		if err, _ := req.Done.Wait(env).(error); err != nil {
+			return err
+		}
+		for _, pg := range flushed {
+			pg.inflight = false
+		}
+		f.clearInflight(len(batch))
+		fs.drained.Notify()
+	}
+	// Wait out pages the background flusher grabbed before this fsync —
+	// and only those; pages dirtied and grabbed later belong to a future
+	// sync.
+	target := f.flushSeq + int64(f.inflightN)
+	for f.flushSeq < target {
+		f.flushDone.Wait(env)
+	}
+
+	// Journal commit with group semantics.
+	for fs.commitSeq < ticket {
+		if fs.committing {
+			fs.commitDone.Wait(env)
+			continue
+		}
+		fs.committing = true
+		covers := fs.nextTicket - 1
+		t0 := env.Now()
+		fs.journal.Acquire(env)
+		fs.stats.JournalLockWait += env.Now().Sub(t0)
+		env.Work(TagFS, fs.prof.CommitHold)
+		var metas []ssd.PageWrite
+		for i := 0; i < fs.prof.CommitPages; i++ {
+			lpa := fs.metaCursor % metaPages
+			fs.metaCursor++
+			metas = append(metas, ssd.PageWrite{LPA: lpa, Data: commitRecord(fs.dev.PageSize())})
+		}
+		req := fs.sched.Submit(metas, true)
+		err, _ := req.Done.Wait(env).(error)
+		fs.journal.Release()
+		fs.committing = false
+		fs.commitSeq = covers
+		fs.stats.Commits++
+		fs.commitDone.Notify()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func commitRecord(pageSize int) []byte {
+	rec := make([]byte, 64)
+	copy(rec, "JOURNAL-COMMIT")
+	if pageSize < len(rec) {
+		rec = rec[:pageSize]
+	}
+	return rec
+}
+
+func (f *File) clearInflight(n int) {
+	f.inflightN -= n
+	if f.inflightN < 0 {
+		f.inflightN = 0
+	}
+	f.flushSeq += int64(n)
+	f.flushDone.Notify()
+}
+
+// Read implements the read(2) path: page-cache hits cost only the copy;
+// misses read through to the device with sequential readahead.
+func (f *File) Read(env *sim.Env, off int64, n int) ([]byte, error) {
+	if f.deleted {
+		return nil, fmt.Errorf("kernelio: read of deleted file %q", f.name)
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("kernelio: negative offset %d", off)
+	}
+	fs := f.fs
+	fs.stats.Syscalls++
+	env.Work(TagSyscall, fs.costs.SyscallEntry)
+	if off >= f.size {
+		return nil, nil // EOF
+	}
+	if int64(n) > f.size-off {
+		n = int(f.size - off)
+	}
+	ps := fs.pageSize()
+	firstIdx := off / ps
+	lastIdx := (off + int64(n) - 1) / ps
+
+	for idx := firstIdx; idx <= lastIdx; idx++ {
+		if pg := f.pages[idx]; pg != nil {
+			fs.stats.CacheHits++
+			continue
+		}
+		fs.stats.CacheMisses++
+		if err := f.fillFrom(env, idx); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]byte, n)
+	pos := 0
+	for idx := firstIdx; idx <= lastIdx; idx++ {
+		pg := f.pages[idx]
+		pageOff := off + int64(pos) - idx*ps
+		pos += copy(out[pos:], pg.data[pageOff:])
+	}
+	env.Work(TagCopy, sim.DurationForBytes(int64(n), fs.costs.CopyBandwidth))
+	fs.stats.BytesRead += int64(n)
+	return out, nil
+}
+
+// fillFrom reads page idx plus a readahead window of LPA-contiguous
+// following pages into the cache, blocking until the device completes.
+func (f *File) fillFrom(env *sim.Env, idx int64) error {
+	fs := f.fs
+	ps := fs.pageSize()
+	lastFileIdx := (f.size - 1) / ps
+	run := int64(1)
+	maxRun := int64(fs.costs.ReadAheadPages)
+	for run < maxRun && idx+run <= lastFileIdx {
+		if f.pages[idx+run] != nil {
+			break // already cached; stop the run
+		}
+		if (idx+run)%extentPages == 0 {
+			break // extent boundary: LPAs stop being contiguous
+		}
+		run++
+	}
+	lpa, err := f.lpaOf(idx)
+	if err != nil {
+		return err
+	}
+	pages, err := fs.dev.Read(env, lpa, run)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < run; i++ {
+		buf := make([]byte, ps)
+		copy(buf, pages[i])
+		f.pages[idx+i] = &cachePage{data: buf}
+	}
+	return nil
+}
+
+// Delete drops the file: cached dirty data is discarded (deleting an
+// un-synced file loses it, as on a real OS), in-flight writeback is awaited,
+// and the file's extents are TRIMmed so the device learns the data is dead.
+func (fs *Filesystem) Delete(env *sim.Env, name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("kernelio: file %q does not exist", name)
+	}
+	fs.stats.Syscalls++
+	env.Work(TagSyscall, fs.costs.SyscallEntry)
+	// Discard dirty pages.
+	for _, idx := range f.dirtyIdx {
+		if pg := f.pages[idx]; pg != nil && pg.dirty {
+			pg.dirty = false
+			fs.dirtyCount--
+		}
+	}
+	f.dirtyIdx = nil
+	fs.drained.Notify()
+	// Wait only for writeback already in flight at entry (the file is hot;
+	// new flushes of other files keep the flusher busy indefinitely).
+	target := f.flushSeq + int64(f.inflightN)
+	for f.flushSeq < target {
+		f.flushDone.Wait(env)
+	}
+	f.deleted = true
+	delete(fs.files, name)
+	for _, base := range f.extents {
+		if err := fs.dev.Deallocate(base, extentPages); err != nil {
+			return err
+		}
+		fs.freeExtents = append(fs.freeExtents, base)
+	}
+	f.extents = nil
+	f.pages = nil
+	// Metadata update for the unlink.
+	fs.journal.Acquire(env)
+	env.Work(TagFS, fs.prof.HandleHold)
+	fs.journal.Release()
+	return nil
+}
+
+// DropCaches evicts every clean page from every file, simulating
+// `echo 3 > /proc/sys/vm/drop_caches` before a cold-cache recovery run.
+func (fs *Filesystem) DropCaches() {
+	for _, f := range fs.files {
+		for idx, pg := range f.pages {
+			if !pg.dirty && !pg.inflight {
+				delete(f.pages, idx)
+			}
+		}
+	}
+}
+
+// wbInflight is one writeback command awaiting device completion.
+type wbInflight struct {
+	req     *Request
+	touched []*File
+	flushed []*cachePage
+}
+
+// writeback is the background flusher daemon (one per filesystem): it drains
+// the global dirty queue in batches with async priority, keeping up to
+// WritebackQD commands in flight — the pipelining that lets the page cache
+// absorb device hiccups which stall direct writers.
+func (fs *Filesystem) writeback(env *sim.Env) {
+	qd := fs.costs.WritebackQD
+	if qd < 1 {
+		qd = 1
+	}
+	var inflight []wbInflight
+	for {
+		// Fill the pipeline.
+		for len(inflight) < qd && len(fs.dirtyQ) > 0 {
+			var batch []ssd.PageWrite
+			var touched []*File
+			var flushed []*cachePage
+			for len(fs.dirtyQ) > 0 && len(batch) < fs.costs.WritebackBatch {
+				ref := fs.dirtyQ[0]
+				fs.dirtyQ = fs.dirtyQ[1:]
+				if ref.f.deleted || ref.f.pages == nil {
+					continue
+				}
+				pg := ref.f.pages[ref.idx]
+				if pg == nil || !pg.dirty {
+					continue // already flushed by fsync or deleted
+				}
+				lpa, err := ref.f.lpaOf(ref.idx)
+				if err != nil {
+					continue
+				}
+				pg.dirty = false
+				pg.inflight = true
+				ref.f.inflightN++
+				fs.dirtyCount--
+				// Remove from the file's own dirty list lazily: collectDirty
+				// skips non-dirty entries.
+				data := make([]byte, len(pg.data))
+				copy(data, pg.data)
+				batch = append(batch, ssd.PageWrite{LPA: lpa, Data: data, PID: fs.pidOf(ref.f.name)})
+				touched = append(touched, ref.f)
+				flushed = append(flushed, pg)
+			}
+			if len(batch) == 0 {
+				break
+			}
+			inflight = append(inflight, wbInflight{
+				req:     fs.sched.Submit(batch, false),
+				touched: touched,
+				flushed: flushed,
+			})
+		}
+		if len(inflight) == 0 {
+			fs.wbKick.Wait(env)
+			continue
+		}
+		// Reap the oldest command.
+		w := inflight[0]
+		inflight = inflight[1:]
+		w.req.Done.Wait(env)
+		fs.stats.WritebackPages += int64(len(w.req.Pages))
+		for i, f := range w.touched {
+			w.flushed[i].inflight = false
+			f.clearInflight(1)
+		}
+		fs.drained.Notify()
+	}
+}
+
+// Rename atomically renames a file, replacing any existing target (the
+// rename(2) semantics Redis relies on to publish "dump.rdb.tmp" as the live
+// snapshot).
+func (fs *Filesystem) Rename(env *sim.Env, oldName, newName string) error {
+	f, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("kernelio: rename: %q does not exist", oldName)
+	}
+	fs.stats.Syscalls++
+	env.Work(TagSyscall, fs.costs.SyscallEntry)
+	if _, ok := fs.files[newName]; ok {
+		if err := fs.Delete(env, newName); err != nil {
+			return err
+		}
+	}
+	fs.journal.Acquire(env)
+	env.Work(TagFS, fs.prof.HandleHold)
+	fs.journal.Release()
+	delete(fs.files, oldName)
+	f.name = newName
+	fs.files[newName] = f
+	return nil
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Duration(i*7919) % (100 * sim.Millisecond))
+	}
+}
+
+func BenchmarkHistogramP999(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(sim.Duration(i*7919) % (100 * sim.Millisecond))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.P999()
+	}
+}
+
+func BenchmarkSeriesAdd(b *testing.B) {
+	s := NewSeries(sim.Second)
+	for i := 0; i < b.N; i++ {
+		s.Add(sim.Time(i%1000)*sim.Time(sim.Millisecond), 1)
+	}
+}

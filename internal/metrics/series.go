@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Series accumulates event counts into fixed-width virtual-time intervals,
+// producing rate-over-time data such as the runtime RPS plots in Figures 4
+// and 5 of the paper.
+type Series struct {
+	interval sim.Duration
+	counts   []int64
+}
+
+// NewSeries returns a Series with the given bucket width.
+func NewSeries(interval sim.Duration) *Series {
+	if interval <= 0 {
+		panic("metrics: Series interval must be positive")
+	}
+	return &Series{interval: interval}
+}
+
+// Add records n events at virtual time t.
+func (s *Series) Add(t sim.Time, n int64) {
+	idx := int(int64(t) / int64(s.interval))
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[idx] += n
+}
+
+// Interval reports the bucket width.
+func (s *Series) Interval() sim.Duration { return s.interval }
+
+// Len reports the number of buckets (including trailing zeros up to the last
+// recorded event).
+func (s *Series) Len() int { return len(s.counts) }
+
+// Count returns the raw event count of bucket i.
+func (s *Series) Count(i int) int64 {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// Rate returns bucket i's event rate in events per second.
+func (s *Series) Rate(i int) float64 {
+	return float64(s.Count(i)) / s.interval.Seconds()
+}
+
+// Rates returns the per-bucket rates in events per second.
+func (s *Series) Rates() []float64 {
+	out := make([]float64, len(s.counts))
+	for i := range s.counts {
+		out[i] = s.Rate(i)
+	}
+	return out
+}
+
+// Total reports the sum of all recorded events.
+func (s *Series) Total() int64 {
+	var t int64
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// MinRate returns the smallest bucket rate over [from, to) bucket indices,
+// clamped to the valid range. Returns 0 for an empty range.
+func (s *Series) MinRate(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.counts) {
+		to = len(s.counts)
+	}
+	if from >= to {
+		return 0
+	}
+	min := s.Rate(from)
+	for i := from + 1; i < to; i++ {
+		if r := s.Rate(i); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// CSV renders the series as "t_seconds,rate" lines, the format consumed by
+// external plotting of Figures 4-5.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_seconds,rate_per_sec\n")
+	for i := range s.counts {
+		t := sim.Duration(i) * s.interval
+		fmt.Fprintf(&b, "%.3f,%.1f\n", t.Seconds(), s.Rate(i))
+	}
+	return b.String()
+}
+
+// Counter is a named monotonic counter set.
+type Counter struct {
+	vals map[string]int64
+}
+
+// Inc adds n to the named counter.
+func (c *Counter) Inc(name string, n int64) {
+	if c.vals == nil {
+		c.vals = make(map[string]int64)
+	}
+	c.vals[name] += n
+}
+
+// Get reads the named counter (0 if never incremented).
+func (c *Counter) Get(name string) int64 { return c.vals[name] }

@@ -1,0 +1,324 @@
+// Package nand models a NAND flash array with FEMU-compatible geometry and
+// timing: channels × dies, blocks of sequentially-programmed pages, and the
+// three basic operations (page read, page program, block erase).
+//
+// The model is functional as well as temporal: programmed pages hold real
+// bytes, which the FTL layers above physically move during garbage
+// collection, so data-integrity properties can be tested end to end.
+//
+// Timing uses sim.Timeline horizons per die and per channel rather than
+// simulation processes, which keeps the event count per host command at one
+// regardless of how many flash operations it fans out to. State mutations
+// take effect immediately; the returned completion time tells the caller
+// when the operation is durable/serviceable in virtual time.
+package nand
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Geometry describes the physical layout of the array. The defaults mirror
+// the paper's FEMU configuration (8 channels, 8 dies/channel, 4 KiB pages).
+type Geometry struct {
+	Channels       int
+	DiesPerChannel int
+	BlocksPerDie   int
+	PagesPerBlock  int
+	PageSize       int // bytes
+}
+
+// DefaultGeometry returns the paper's FEMU geometry scaled to a small device
+// (default ~2 GiB) so the full experiment suite runs in seconds. BlocksPerDie
+// is derived from totalBytes; pass 0 for the 2 GiB default.
+func DefaultGeometry(totalBytes int64) Geometry {
+	if totalBytes <= 0 {
+		totalBytes = 2 << 30
+	}
+	g := Geometry{
+		Channels:       8,
+		DiesPerChannel: 8,
+		PagesPerBlock:  256, // 1 MiB blocks at 4 KiB pages
+		PageSize:       4096,
+	}
+	dieBytes := totalBytes / int64(g.Channels*g.DiesPerChannel)
+	// Keep at least 16 blocks per die so FTL over-provisioning and GC
+	// headroom stay a small fraction of the device even at tiny scales:
+	// shrink the block size rather than the block count.
+	for g.PagesPerBlock > 16 && dieBytes/int64(g.PagesPerBlock*g.PageSize) < 16 {
+		g.PagesPerBlock /= 2
+	}
+	g.BlocksPerDie = int(dieBytes / int64(g.PagesPerBlock*g.PageSize))
+	if g.BlocksPerDie < 4 {
+		g.BlocksPerDie = 4
+	}
+	return g
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.DiesPerChannel <= 0 || g.BlocksPerDie <= 0 ||
+		g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		return fmt.Errorf("nand: geometry fields must be positive: %+v", g)
+	}
+	return nil
+}
+
+// Dies reports the total die count.
+func (g Geometry) Dies() int { return g.Channels * g.DiesPerChannel }
+
+// Blocks reports the total block count.
+func (g Geometry) Blocks() int { return g.Dies() * g.BlocksPerDie }
+
+// Pages reports the total page count.
+func (g Geometry) Pages() int64 { return int64(g.Blocks()) * int64(g.PagesPerBlock) }
+
+// Capacity reports the raw byte capacity.
+func (g Geometry) Capacity() int64 { return g.Pages() * int64(g.PageSize) }
+
+// PagesPerDie reports pages per die.
+func (g Geometry) PagesPerDie() int64 { return int64(g.BlocksPerDie) * int64(g.PagesPerBlock) }
+
+// Latencies holds the operation timing constants. Defaults are FEMU's, which
+// the paper uses: 40 µs page read, 200 µs page program, 2 ms block erase.
+type Latencies struct {
+	PageRead   sim.Duration
+	PageWrite  sim.Duration
+	BlockErase sim.Duration
+	// ChannelXfer is the bus time to move one page between controller and
+	// die. FEMU's simple mode folds this into the NAND latencies; keep a
+	// small non-zero value so channel contention exists.
+	ChannelXfer sim.Duration
+}
+
+// DefaultLatencies returns FEMU's default NAND timing.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		PageRead:    40 * sim.Microsecond,
+		PageWrite:   200 * sim.Microsecond,
+		BlockErase:  2 * sim.Millisecond,
+		ChannelXfer: 5 * sim.Microsecond, // ~800 MB/s bus per channel at 4 KiB pages
+	}
+}
+
+// PPA is a flat physical page address:
+// ppa = (die*BlocksPerDie + block)*PagesPerBlock + page.
+type PPA int64
+
+// InvalidPPA marks an unmapped physical address.
+const InvalidPPA PPA = -1
+
+type blockState struct {
+	nextPage int // next programmable page index (sequential-program rule)
+	erases   int64
+}
+
+// Stats aggregates operation counters for the whole array.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// Array is the NAND device. It is not safe for concurrent use; in this
+// repository it is only ever touched from simulation context.
+type Array struct {
+	geo    Geometry
+	lat    Latencies
+	dies   []sim.Timeline
+	chans  []sim.Timeline
+	blocks []blockState // indexed by die*BlocksPerDie + block
+	data   [][]byte     // indexed by PPA; nil = unwritten since last erase
+	stats  Stats
+}
+
+// New builds an erased array with the given geometry and latencies.
+func New(geo Geometry, lat Latencies) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		geo:    geo,
+		lat:    lat,
+		dies:   make([]sim.Timeline, geo.Dies()),
+		chans:  make([]sim.Timeline, geo.Channels),
+		blocks: make([]blockState, geo.Blocks()),
+		data:   make([][]byte, geo.Pages()),
+	}, nil
+}
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Latencies returns the timing constants.
+func (a *Array) Latencies() Latencies { return a.lat }
+
+// Stats returns cumulative operation counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// PPAOf composes a flat physical address.
+func (a *Array) PPAOf(die, block, page int) PPA {
+	return PPA((int64(die)*int64(a.geo.BlocksPerDie)+int64(block))*int64(a.geo.PagesPerBlock) + int64(page))
+}
+
+// DieOf returns the die index of ppa.
+func (a *Array) DieOf(ppa PPA) int {
+	return int(int64(ppa) / (int64(a.geo.BlocksPerDie) * int64(a.geo.PagesPerBlock)))
+}
+
+// BlockOf returns the (global) block index of ppa.
+func (a *Array) BlockOf(ppa PPA) int {
+	return int(int64(ppa) / int64(a.geo.PagesPerBlock))
+}
+
+// PageOf returns the in-block page index of ppa.
+func (a *Array) PageOf(ppa PPA) int {
+	return int(int64(ppa) % int64(a.geo.PagesPerBlock))
+}
+
+func (a *Array) channelOf(die int) int { return die / a.geo.DiesPerChannel }
+
+func (a *Array) checkPPA(ppa PPA) error {
+	if ppa < 0 || int64(ppa) >= a.geo.Pages() {
+		return fmt.Errorf("nand: PPA %d out of range [0,%d)", ppa, a.geo.Pages())
+	}
+	return nil
+}
+
+// NextProgramPage returns the next programmable page index of a block, or
+// PagesPerBlock when the block is full.
+func (a *Array) NextProgramPage(die, block int) int {
+	return a.blocks[die*a.geo.BlocksPerDie+block].nextPage
+}
+
+// EraseCount returns how many times a block has been erased (wear).
+func (a *Array) EraseCount(die, block int) int64 {
+	return a.blocks[die*a.geo.BlocksPerDie+block].erases
+}
+
+// Read returns the bytes stored at ppa along with the virtual time at which
+// the data is available. Reading a page that was never programmed since its
+// last erase is an FTL bug and returns an error.
+func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err error) {
+	if err := a.checkPPA(ppa); err != nil {
+		return nil, now, err
+	}
+	d := a.data[ppa]
+	if d == nil {
+		return nil, now, fmt.Errorf("nand: read of unwritten page %d", ppa)
+	}
+	die := a.DieOf(ppa)
+	// Die senses the page, then the channel transfers it out.
+	_, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
+	_, done = a.chans[a.channelOf(die)].Reserve(senseEnd, a.lat.ChannelXfer)
+	a.stats.Reads++
+	return d, done, nil
+}
+
+// Program writes data (at most PageSize bytes) to ppa and returns the time
+// at which the program completes. It enforces the two NAND rules the FTL
+// must respect: pages within a block are programmed strictly in order, and
+// a page cannot be reprogrammed without an intervening block erase.
+func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err error) {
+	if err := a.checkPPA(ppa); err != nil {
+		return now, err
+	}
+	if len(data) > a.geo.PageSize {
+		return now, fmt.Errorf("nand: program of %d bytes exceeds page size %d", len(data), a.geo.PageSize)
+	}
+	die := a.DieOf(ppa)
+	blockGlobal := a.BlockOf(ppa)
+	page := a.PageOf(ppa)
+	bs := &a.blocks[blockGlobal]
+	if page != bs.nextPage {
+		return now, fmt.Errorf("nand: out-of-order program: block %d expects page %d, got %d",
+			blockGlobal, bs.nextPage, page)
+	}
+	bs.nextPage++
+	// Copy so later caller mutation cannot corrupt "flash" contents.
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	a.data[ppa] = stored
+	// Channel transfers data in, then the die programs.
+	_, xferEnd := a.chans[a.channelOf(die)].Reserve(now, a.lat.ChannelXfer)
+	_, done = a.dies[die].Reserve(xferEnd, a.lat.PageWrite)
+	a.stats.Programs++
+	return done, nil
+}
+
+// Erase wipes a block, making all its pages programmable again, and returns
+// the completion time.
+func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
+	if die < 0 || die >= a.geo.Dies() || block < 0 || block >= a.geo.BlocksPerDie {
+		return now, fmt.Errorf("nand: erase of invalid block die=%d block=%d", die, block)
+	}
+	bs := &a.blocks[die*a.geo.BlocksPerDie+block]
+	bs.nextPage = 0
+	bs.erases++
+	base := a.PPAOf(die, block, 0)
+	for p := 0; p < a.geo.PagesPerBlock; p++ {
+		a.data[base+PPA(p)] = nil
+	}
+	_, done = a.dies[die].Reserve(now, a.lat.BlockErase)
+	a.stats.Erases++
+	return done, nil
+}
+
+// OccupyAllDies books d of service on every die starting at now, modelling
+// controller-internal work (injected garbage collection) that competes with
+// host commands.
+func (a *Array) OccupyAllDies(now sim.Time, d sim.Duration) {
+	for i := range a.dies {
+		a.dies[i].Reserve(now, d)
+	}
+}
+
+// WearStats summarizes block erase counts across the array, the input to
+// wear-leveling analysis.
+type WearStats struct {
+	MinErases, MaxErases int64
+	TotalErases          int64
+	MeanErases           float64
+}
+
+// Wear reports erase-count statistics over every block.
+func (a *Array) Wear() WearStats {
+	var w WearStats
+	if len(a.blocks) == 0 {
+		return w
+	}
+	w.MinErases = a.blocks[0].erases
+	for i := range a.blocks {
+		e := a.blocks[i].erases
+		w.TotalErases += e
+		if e < w.MinErases {
+			w.MinErases = e
+		}
+		if e > w.MaxErases {
+			w.MaxErases = e
+		}
+	}
+	w.MeanErases = float64(w.TotalErases) / float64(len(a.blocks))
+	return w
+}
+
+// DieBusyTotal reports cumulative busy time of a die, for utilization stats.
+func (a *Array) DieBusyTotal(die int) sim.Duration { return a.dies[die].BusyTotal() }
+
+// MaxBusyUntil reports the latest horizon over all dies and channels: the
+// time at which the array fully drains if no further work arrives.
+func (a *Array) MaxBusyUntil() sim.Time {
+	var m sim.Time
+	for i := range a.dies {
+		if t := a.dies[i].BusyUntil(); t > m {
+			m = t
+		}
+	}
+	for i := range a.chans {
+		if t := a.chans[i].BusyUntil(); t > m {
+			m = t
+		}
+	}
+	return m
+}

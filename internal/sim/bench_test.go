@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw callback-event processing.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcessSwitch measures the coroutine handoff cost (park+resume).
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", func(env *Env) {
+		for i := 0; i < b.N; i++ {
+			env.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceHandoff measures contended mutex transfer between two
+// processes.
+func BenchmarkResourceHandoff(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	worker := func(env *Env) {
+		for i := 0; i < b.N/2; i++ {
+			r.Acquire(env)
+			env.Sleep(1)
+			r.Release()
+		}
+	}
+	e.Spawn("a", worker)
+	e.Spawn("b", worker)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkTimelineReserve measures the analytic facility booking used by
+// the NAND model.
+func BenchmarkTimelineReserve(b *testing.B) {
+	var tl Timeline
+	for i := 0; i < b.N; i++ {
+		tl.Reserve(Time(i), 5)
+	}
+}

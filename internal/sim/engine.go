@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single scheduled occurrence. Exactly one of fn or proc is set:
+// fn events run inline on the engine goroutine; proc events resume a parked
+// process.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine owns the virtual clock and the event queue. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	ack    chan struct{}
+	// running is the process currently holding the (conceptual) simulation
+	// thread; nil while the engine itself is executing callbacks.
+	running  *Proc
+	procs    map[*Proc]struct{}
+	nprocs   int
+	ndaemons int
+	stopped  bool
+	killing  bool
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{ack: make(chan struct{}), procs: make(map[*Proc]struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t (clamped to now if in the past). Callbacks
+// run on the engine goroutine and must not block; they may schedule further
+// events, fire signals, and release resources.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// wakeAt schedules p to be resumed at time t.
+func (e *Engine) wakeAt(t Time, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, proc: p})
+}
+
+// Spawn creates a process executing fn and schedules it to start now.
+// Processes run one at a time; fn must yield only through sim primitives.
+func (e *Engine) Spawn(name string, fn func(*Env)) *Proc {
+	p := &Proc{
+		name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		Done:   NewSignal(e),
+	}
+	e.nprocs++
+	e.procs[p] = struct{}{}
+	e.At(e.now, func() { e.startProc(p, fn) })
+	return p
+}
+
+// SpawnDaemon creates a service process (kernel thread, poller) that is
+// expected to remain parked forever once the workload drains: it is excluded
+// from deadlock detection and simply abandoned when the simulation ends.
+func (e *Engine) SpawnDaemon(name string, fn func(*Env)) *Proc {
+	p := e.Spawn(name, fn)
+	p.daemon = true
+	e.ndaemons++
+	return p
+}
+
+// procKilled is the sentinel panic value used to unwind a parked process
+// during Engine.Shutdown.
+type procKilled struct{}
+
+func (e *Engine) startProc(p *Proc, fn func(*Env)) {
+	e.running = p
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.nprocs--
+			if p.daemon {
+				e.ndaemons--
+			}
+			delete(e.procs, p)
+			if !p.Done.Fired() {
+				p.Done.Fire(nil)
+			}
+			e.ack <- struct{}{}
+		}()
+		env := &Env{p: p, eng: e}
+		fn(env)
+	}()
+	<-e.ack
+	e.running = nil
+}
+
+// resumeProc hands the simulation thread to p until it parks or terminates.
+func (e *Engine) resumeProc(p *Proc) {
+	if p.done {
+		return
+	}
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.ack
+	e.running = nil
+}
+
+// Run executes events until the queue drains or Stop is called, and returns
+// the final virtual time. Processes still parked when the queue drains are
+// considered deadlocked and cause a panic naming them, since that always
+// indicates a modelling bug.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.proc != nil {
+			e.resumeProc(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if live := e.nprocs - e.ndaemons; !e.stopped && live > 0 {
+		panic(fmt.Sprintf("sim: event queue drained with %d non-daemon process(es) still parked (deadlock)", live))
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then stops with the
+// clock at the deadline. Parked processes are left in place so the caller can
+// inspect state mid-flight; Run or RunUntil can be called again to continue.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.proc != nil {
+			e.resumeProc(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop halts the event loop after the current event. Parked processes stay
+// parked; their goroutines are abandoned (the process ends with the Go
+// program). Intended for open-ended scenarios with a fixed observation
+// window.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of scheduled events, useful in tests.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Shutdown tears the simulation down: every parked process is unwound (its
+// goroutine exits via an internal panic that park() raises), so nothing
+// keeps the simulated world reachable afterwards. Call it once a run is
+// finished and its results extracted; the engine must not be used again.
+// Experiment harnesses rely on this to avoid leaking a whole simulated
+// device per run through parked goroutine stacks.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	e.killing = true
+	// Collect first: resuming mutates e.procs.
+	var parked []*Proc
+	for p := range e.procs {
+		if !p.done {
+			parked = append(parked, p)
+		}
+	}
+	for _, p := range parked {
+		e.resumeProc(p)
+	}
+}

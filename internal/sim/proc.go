@@ -1,0 +1,97 @@
+package sim
+
+// Proc is a simulation process: a goroutine that the engine resumes one at a
+// time. A Proc is created with Engine.Spawn and runs until its body returns.
+type Proc struct {
+	name   string
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+	daemon bool
+
+	// Done fires (with a nil value) when the process body returns.
+	Done *Signal
+
+	// busy accumulates virtual CPU time billed via Env.Work, keyed by an
+	// arbitrary tag. Experiments use it to report per-component CPU shares
+	// (e.g. the filesystem write-path share of the snapshot process,
+	// Table 2 of the paper).
+	busy map[string]Duration
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Terminated reports whether the process body has returned.
+func (p *Proc) Terminated() bool { return p.done }
+
+// BusyTime reports the virtual CPU time billed under tag via Env.Work.
+func (p *Proc) BusyTime(tag string) Duration { return p.busy[tag] }
+
+// TotalBusyTime reports the sum of all billed CPU time.
+func (p *Proc) TotalBusyTime() Duration {
+	var total Duration
+	for _, d := range p.busy {
+		total += d
+	}
+	return total
+}
+
+// Env is the handle a process body uses to interact with the simulation. It
+// is valid only inside the process it was created for.
+type Env struct {
+	p   *Proc
+	eng *Engine
+}
+
+// Engine returns the engine this process runs on.
+func (env *Env) Engine() *Engine { return env.eng }
+
+// Proc returns the process this Env belongs to.
+func (env *Env) Proc() *Proc { return env.p }
+
+// Now reports the current virtual time.
+func (env *Env) Now() Time { return env.eng.now }
+
+// park yields the simulation thread back to the engine and blocks until some
+// event resumes this process. The caller must already have arranged for a
+// wake-up (a scheduled event, a resource grant, a signal subscription, ...).
+func (env *Env) park() {
+	env.eng.ack <- struct{}{}
+	<-env.p.resume
+	if env.eng.killing {
+		panic(procKilled{})
+	}
+}
+
+// Sleep advances this process by d of virtual time, yielding to other
+// events. Non-positive durations still yield once, at the current time,
+// which gives other same-timestamp events a chance to run.
+func (env *Env) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	env.eng.wakeAt(env.eng.now.Add(d), env.p)
+	env.park()
+}
+
+// Work sleeps for d and bills it as CPU time under tag on this process.
+// It models the process actively computing (as opposed to waiting on I/O).
+func (env *Env) Work(tag string, d Duration) {
+	if d > 0 {
+		if env.p.busy == nil {
+			env.p.busy = make(map[string]Duration)
+		}
+		env.p.busy[tag] += d
+	}
+	env.Sleep(d)
+}
+
+// Yield lets every other event already scheduled for the current timestamp
+// run before this process continues.
+func (env *Env) Yield() { env.Sleep(0) }
+
+// Spawn starts a child process on the same engine.
+func (env *Env) Spawn(name string, fn func(*Env)) *Proc {
+	return env.eng.Spawn(name, fn)
+}

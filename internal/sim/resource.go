@@ -1,0 +1,114 @@
+package sim
+
+// Resource is a counted resource with FIFO admission: up to Capacity holders
+// at once, waiters served in arrival order. With Capacity 1 it is a fair
+// mutex; the simulation uses it for locks (filesystem journal, in-memory
+// dictionary) and bounded service stations.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// contention statistics
+	acquisitions int64
+	waited       int64
+	waitTime     Duration
+}
+
+// NewResource returns a resource admitting up to capacity concurrent
+// holders. Capacity must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: Resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Acquire blocks the calling process until a slot is available and takes it.
+func (r *Resource) Acquire(env *Env) {
+	r.acquisitions++
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waited++
+	start := env.Now()
+	r.waiters = append(r.waiters, env.p)
+	env.park()
+	// The releaser transferred the slot to us (inUse stays counted).
+	r.waitTime += env.Now().Sub(start)
+}
+
+// TryAcquire takes a slot if one is free, without blocking.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		r.acquisitions++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot, handing it directly to the oldest waiter if any.
+// Callable from a process or an engine callback.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of un-acquired Resource")
+	}
+	if len(r.waiters) > 0 {
+		// Transfer the slot: inUse is unchanged, the waiter now holds it.
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.eng.wakeAt(r.eng.now, p)
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of parked waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquisitions reports the total number of Acquire/TryAcquire grants
+// attempted (successful TryAcquire and every Acquire).
+func (r *Resource) Acquisitions() int64 { return r.acquisitions }
+
+// ContendedAcquisitions reports how many Acquire calls had to wait.
+func (r *Resource) ContendedAcquisitions() int64 { return r.waited }
+
+// TotalWaitTime reports the cumulative virtual time processes spent parked
+// on this resource.
+func (r *Resource) TotalWaitTime() Duration { return r.waitTime }
+
+// Timeline models a serially-occupied facility (a NAND die, a DMA engine) as
+// a busy-until horizon instead of a queue of parked processes. Reserving
+// work returns the interval it will occupy; callers schedule their own
+// completion callbacks. This is far cheaper than a Resource for components
+// with very high event rates and preserves FIFO service order exactly.
+type Timeline struct {
+	busyUntil Time
+	busyTotal Duration
+}
+
+// Reserve books d of exclusive service starting no earlier than now and no
+// earlier than the end of previously reserved work. It returns the start and
+// end of the booked interval and advances the horizon to end.
+func (tl *Timeline) Reserve(now Time, d Duration) (start, end Time) {
+	start = now
+	if tl.busyUntil > start {
+		start = tl.busyUntil
+	}
+	end = start.Add(d)
+	tl.busyUntil = end
+	tl.busyTotal += d
+	return start, end
+}
+
+// BusyUntil reports the current service horizon.
+func (tl *Timeline) BusyUntil() Time { return tl.busyUntil }
+
+// BusyTotal reports cumulative reserved service time, for utilization stats.
+func (tl *Timeline) BusyTotal() Duration { return tl.busyTotal }

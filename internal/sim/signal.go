@@ -1,0 +1,142 @@
+package sim
+
+// Signal is a one-shot event carrying an optional value. Any number of
+// processes may Wait on it; Fire releases them all (in wait order) and makes
+// every later Wait return immediately. Fire may be called from a process or
+// from an engine callback.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	val     any
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to eng.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the value passed to Fire, or nil before firing.
+func (s *Signal) Value() any { return s.val }
+
+// Fire marks the signal fired and wakes all waiters. Firing twice panics:
+// a Signal models a one-shot completion, and double completion is a bug.
+func (s *Signal) Fire(val any) {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	s.val = val
+	for _, p := range s.waiters {
+		s.eng.wakeAt(s.eng.now, p)
+	}
+	s.waiters = nil
+}
+
+// Wait blocks the calling process until the signal fires and returns the
+// fired value. Returns immediately if already fired.
+func (s *Signal) Wait(env *Env) any {
+	if s.fired {
+		return s.val
+	}
+	s.waiters = append(s.waiters, env.p)
+	env.park()
+	return s.val
+}
+
+// Broadcast is a reusable condition: processes Wait, and each Notify wakes
+// every process currently waiting. Unlike Signal it never latches.
+type Broadcast struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewBroadcast returns a Broadcast bound to eng.
+func NewBroadcast(eng *Engine) *Broadcast { return &Broadcast{eng: eng} }
+
+// Wait parks the calling process until the next Notify.
+func (b *Broadcast) Wait(env *Env) {
+	b.waiters = append(b.waiters, env.p)
+	env.park()
+}
+
+// Notify wakes every currently waiting process.
+func (b *Broadcast) Notify() {
+	for _, p := range b.waiters {
+		b.eng.wakeAt(b.eng.now, p)
+	}
+	b.waiters = nil
+}
+
+// Waiting reports how many processes are parked on b.
+func (b *Broadcast) Waiting() int { return len(b.waiters) }
+
+// Queue is an unbounded FIFO message queue between processes, the virtual-
+// time analogue of a Go channel. Push never blocks; Pop blocks the caller
+// while the queue is empty.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to eng.
+func NewQueue[T any](eng *Engine) *Queue[T] { return &Queue[T]{eng: eng} }
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends an item and wakes one waiter, if any. Push may be called from
+// a process or from an engine callback. Pushing to a closed queue panics.
+func (q *Queue[T]) Push(item T) {
+	if q.closed {
+		panic("sim: push to closed Queue")
+	}
+	q.items = append(q.items, item)
+	q.wakeOne()
+}
+
+// Close marks the queue closed: queued items can still be popped, and
+// further Pops return ok=false. All current waiters are woken.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	for len(q.waiters) > 0 {
+		q.wakeOne()
+	}
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.eng.wakeAt(q.eng.now, p)
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty. It returns ok=false only when the queue is closed and drained.
+func (q *Queue[T]) Pop(env *Env) (item T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return item, false
+		}
+		q.waiters = append(q.waiters, env.p)
+		env.park()
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}

@@ -1,0 +1,68 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func benchEntries(n int) []Entry {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Entry, n)
+	for i := range out {
+		v := make([]byte, 4096)
+		rng.Read(v[:2048])
+		out[i] = Entry{Key: []byte(fmt.Sprintf("key:%08d", i)), Value: v}
+	}
+	return out
+}
+
+func BenchmarkWriter(b *testing.B) {
+	entries := benchEntries(256)
+	var raw int64
+	for _, e := range entries {
+		raw += int64(EntrySize(e.Key, e.Value))
+	}
+	b.SetBytes(raw)
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(0, func(chunk []byte, rawBytes int) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := w.Add(e.Key, e.Value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReader(b *testing.B) {
+	entries := benchEntries(256)
+	var stream bytes.Buffer
+	w, _ := NewWriter(0, func(chunk []byte, rawBytes int) error {
+		stream.Write(chunk)
+		return nil
+	})
+	for _, e := range entries {
+		_ = w.Add(e.Key, e.Value)
+	}
+	_ = w.Close()
+	b.SetBytes(int64(stream.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(stream.Bytes()))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

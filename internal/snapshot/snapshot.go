@@ -1,0 +1,252 @@
+// Package snapshot implements the RDB-like snapshot serialization format
+// shared by the baseline and SlimIO backends: a header, a sequence of
+// independently-compressed CRC-framed chunks of key/value entries, and a
+// trailer. Chunked framing lets the writer stream the dump without holding
+// the serialized image in memory, and lets the reader validate as it loads.
+//
+// Compression is real (stdlib flate), so compression ratios — and therefore
+// snapshot sizes and device traffic — come from the actual data, while the
+// CPU cost of compressing is billed to the snapshot process through the
+// engine's cost model.
+package snapshot
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic opens every snapshot image.
+var Magic = []byte("SLIMRDB1")
+
+// DefaultChunkSize is the uncompressed chunk target (64 KiB).
+const DefaultChunkSize = 64 << 10
+
+// Entry is one key/value pair in the dump.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// appendEntry frames an entry into buf.
+func appendEntry(buf []byte, key, value []byte) []byte {
+	var l [8]byte
+	binary.LittleEndian.PutUint32(l[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(l[4:8], uint32(len(value)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// EntrySize returns the framed size of an entry.
+func EntrySize(key, value []byte) int { return 8 + len(key) + len(value) }
+
+// Writer streams a snapshot image as a series of compressed chunks to an
+// emit callback. The callback receives ready-to-store bytes plus the number
+// of uncompressed bytes they encode (for cost accounting).
+type Writer struct {
+	emit      func(chunk []byte, rawBytes int) error
+	chunkSize int
+	pending   []byte
+	entries   int64
+	rawTotal  int64
+	compTotal int64
+	closed    bool
+}
+
+// NewWriter builds a Writer emitting chunks through emit. chunkSize <= 0
+// selects DefaultChunkSize.
+func NewWriter(chunkSize int, emit func(chunk []byte, rawBytes int) error) (*Writer, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	w := &Writer{emit: emit, chunkSize: chunkSize}
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, Magic...)
+	if err := emit(hdr, len(hdr)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Add appends one entry, flushing a chunk when the target size is reached.
+func (w *Writer) Add(key, value []byte) error {
+	if w.closed {
+		return fmt.Errorf("snapshot: Add after Close")
+	}
+	w.pending = appendEntry(w.pending, key, value)
+	w.entries++
+	if len(w.pending) >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *Writer) flushChunk() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	raw := w.pending
+	w.pending = nil
+
+	var cbuf bytes.Buffer
+	fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	comp := cbuf.Bytes()
+
+	frame := make([]byte, 0, 16+len(comp))
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(comp)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(comp))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, comp...)
+
+	w.rawTotal += int64(len(raw))
+	w.compTotal += int64(len(comp))
+	return w.emit(frame, len(raw))
+}
+
+// Close flushes the final chunk and the trailer (a zero-length chunk header
+// carrying the entry count).
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.flushChunk(); err != nil {
+		return err
+	}
+	w.closed = true
+	var tr [12]byte
+	// rawLen == 0 marks the trailer; the "crc" field carries the entry count.
+	binary.LittleEndian.PutUint32(tr[8:12], uint32(w.entries))
+	return w.emit(tr[:], len(tr))
+}
+
+// Entries reports entries added so far.
+func (w *Writer) Entries() int64 { return w.entries }
+
+// RawBytes reports uncompressed payload bytes emitted (excluding framing).
+func (w *Writer) RawBytes() int64 { return w.rawTotal }
+
+// CompressedBytes reports compressed payload bytes emitted.
+func (w *Writer) CompressedBytes() int64 { return w.compTotal }
+
+// Reader incrementally decodes a snapshot image from a sequential byte
+// source (for example a recovery read-ahead buffer).
+type Reader struct {
+	src       io.Reader
+	buf       []byte
+	sawHeader bool
+	done      bool
+	entries   int64
+	declared  int64
+}
+
+// NewReader wraps a sequential source of snapshot bytes.
+func NewReader(src io.Reader) *Reader { return &Reader{src: src} }
+
+func (r *Reader) fill(n int) error {
+	for len(r.buf) < n {
+		tmp := make([]byte, 64<<10)
+		m, err := r.src.Read(tmp)
+		if m > 0 {
+			r.buf = append(r.buf, tmp[:m]...)
+			continue
+		}
+		if err == io.EOF {
+			// Running dry mid-frame is a truncated image, never a clean
+			// end: clean EOF is only reported after the trailer.
+			return fmt.Errorf("snapshot: truncated image: %w", io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next returns the next batch of entries (one chunk's worth), or io.EOF
+// after the trailer. It validates the per-chunk CRC and, at the end, the
+// declared entry count.
+func (r *Reader) Next() ([]Entry, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	if !r.sawHeader {
+		if err := r.fill(len(Magic)); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(r.buf[:len(Magic)], Magic) {
+			return nil, fmt.Errorf("snapshot: bad magic")
+		}
+		r.buf = r.buf[len(Magic):]
+		r.sawHeader = true
+	}
+	if err := r.fill(12); err != nil {
+		return nil, err
+	}
+	rawLen := binary.LittleEndian.Uint32(r.buf[0:4])
+	compLen := binary.LittleEndian.Uint32(r.buf[4:8])
+	crcOrCount := binary.LittleEndian.Uint32(r.buf[8:12])
+	r.buf = r.buf[12:]
+	if rawLen == 0 {
+		// Trailer.
+		r.done = true
+		r.declared = int64(crcOrCount)
+		if r.declared != r.entries {
+			return nil, fmt.Errorf("snapshot: trailer declares %d entries, read %d", r.declared, r.entries)
+		}
+		return nil, io.EOF
+	}
+	if err := r.fill(int(compLen)); err != nil {
+		return nil, err
+	}
+	comp := r.buf[:compLen]
+	if crc32.ChecksumIEEE(comp) != crcOrCount {
+		return nil, fmt.Errorf("snapshot: chunk CRC mismatch")
+	}
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decompress: %w", err)
+	}
+	r.buf = r.buf[compLen:]
+	if len(raw) != int(rawLen) {
+		return nil, fmt.Errorf("snapshot: chunk declares %d raw bytes, got %d", rawLen, len(raw))
+	}
+
+	var out []Entry
+	for len(raw) > 0 {
+		if len(raw) < 8 {
+			return nil, fmt.Errorf("snapshot: truncated entry header")
+		}
+		kl := binary.LittleEndian.Uint32(raw[0:4])
+		vl := binary.LittleEndian.Uint32(raw[4:8])
+		total := 8 + int(kl) + int(vl)
+		if len(raw) < total {
+			return nil, fmt.Errorf("snapshot: truncated entry body")
+		}
+		out = append(out, Entry{
+			Key:   append([]byte(nil), raw[8:8+kl]...),
+			Value: append([]byte(nil), raw[8+kl:total]...),
+		})
+		raw = raw[total:]
+	}
+	r.entries += int64(len(out))
+	return out, nil
+}
+
+// Entries reports entries decoded so far.
+func (r *Reader) Entries() int64 { return r.entries }

@@ -1,0 +1,207 @@
+package ssd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/slimio/slimio/internal/fdp"
+	"github.com/slimio/slimio/internal/ftl"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+func newConvDevice(t *testing.T) *Device {
+	t.Helper()
+	geo := nand.Geometry{Channels: 2, DiesPerChannel: 2, BlocksPerDie: 8, PagesPerBlock: 8, PageSize: 128}
+	arr, err := nand.New(geo, nand.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ftl.New(arr, ftl.Config{}), Config{})
+}
+
+func newFDPDevice(t *testing.T) *Device {
+	t.Helper()
+	geo := nand.Geometry{Channels: 2, DiesPerChannel: 2, BlocksPerDie: 8, PagesPerBlock: 8, PageSize: 128}
+	arr, err := nand.New(geo, nand.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fdp.New(arr, fdp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(f, Config{})
+}
+
+// Compile-time interface checks for both FTLs.
+var (
+	_ FTL = (*ftl.FTL)(nil)
+	_ FTL = (*fdp.FTL)(nil)
+)
+
+func pages(n, size int, tag byte) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = tag + byte(i)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestMultiPageWriteRead(t *testing.T) {
+	for name, dev := range map[string]*Device{"conv": newConvDevice(t), "fdp": newFDPDevice(t)} {
+		in := pages(5, 128, 'a')
+		done, err := dev.WritePages(0, 10, in, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if done <= 0 {
+			t.Fatalf("%s: non-positive completion", name)
+		}
+		out, _, err := dev.ReadPages(done, 10, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range in {
+			if !bytes.Equal(in[i], out[i]) {
+				t.Fatalf("%s: page %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestMultiPageWriteParallelism(t *testing.T) {
+	dev := newConvDevice(t)
+	// 4 dies: a 4-page write should complete in roughly one program, not 4.
+	one, err := dev.WritePages(0, 0, pages(1, 128, 'x'), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2 := newConvDevice(t)
+	four, err := dev2.WritePages(0, 0, pages(4, 128, 'x'), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four >= one*3 {
+		t.Fatalf("4-page write took %v vs 1-page %v: no die parallelism", four, one)
+	}
+}
+
+func TestCommandOverheadApplied(t *testing.T) {
+	dev := newConvDevice(t)
+	done, err := dev.WritePages(0, 0, pages(1, 128, 'x'), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := nand.DefaultLatencies()
+	min := sim.Time(5*sim.Microsecond) + sim.Time(lat.PageWrite)
+	if done < min {
+		t.Fatalf("completion %v below overhead+program %v", done, min)
+	}
+}
+
+func TestEmptyWriteNoop(t *testing.T) {
+	dev := newConvDevice(t)
+	done, err := dev.WritePages(100, 0, nil, 0)
+	if err != nil || done != 100 {
+		t.Fatalf("empty write: done=%v err=%v", done, err)
+	}
+}
+
+func TestOversizedPageRejected(t *testing.T) {
+	dev := newConvDevice(t)
+	if _, err := dev.WritePages(0, 0, [][]byte{make([]byte, 129)}, 0); err == nil {
+		t.Fatal("oversized page accepted")
+	}
+}
+
+func TestBlockingHelpers(t *testing.T) {
+	dev := newConvDevice(t)
+	eng := sim.NewEngine()
+	var wrote, read sim.Time
+	eng.Spawn("io", func(env *sim.Env) {
+		if err := dev.Write(env, 0, pages(2, 128, 'b'), 0); err != nil {
+			t.Error(err)
+			return
+		}
+		wrote = env.Now()
+		data, err := dev.Read(env, 0, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		read = env.Now()
+		if len(data) != 2 || data[0][0] != 'b' {
+			t.Error("read back wrong data")
+		}
+	})
+	eng.Run()
+	if wrote == 0 || read <= wrote {
+		t.Fatalf("blocking ops did not advance time: wrote=%v read=%v", wrote, read)
+	}
+}
+
+func TestPreconditionCreatesGCPressure(t *testing.T) {
+	dev := newConvDevice(t)
+	rng := rand.New(rand.NewSource(1))
+	if err := Precondition(dev, dev.Capacity()/2, dev.Capacity(), 0.95, 2, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Now hammer the lower half; GC should kick in quickly.
+	now := sim.Time(0)
+	for i := 0; i < int(dev.Capacity()); i++ {
+		done, err := dev.WritePages(now, int64(i%int(dev.Capacity()/4)), pages(1, 128, 'h'), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if dev.Stats().GCRuns == 0 {
+		t.Fatal("precondition did not induce GC")
+	}
+}
+
+func TestPreconditionValidation(t *testing.T) {
+	dev := newConvDevice(t)
+	rng := rand.New(rand.NewSource(1))
+	if err := Precondition(dev, -1, 10, 0.5, 2, rng); err == nil {
+		t.Fatal("negative from accepted")
+	}
+	if err := Precondition(dev, 0, dev.Capacity()+1, 0.5, 2, rng); err == nil {
+		t.Fatal("past-capacity to accepted")
+	}
+	if err := Precondition(dev, 0, 10, 1.5, 2, rng); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestStatsPassThrough(t *testing.T) {
+	dev := newFDPDevice(t)
+	if _, err := dev.WritePages(0, 0, pages(3, 128, 'p'), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Stats().HostWritePages; got != 3 {
+		t.Fatalf("host writes = %d, want 3", got)
+	}
+	if dev.Capacity() <= 0 || dev.PageSize() != 128 {
+		t.Fatal("capacity/page size passthrough broken")
+	}
+}
+
+func TestDeallocatePassThrough(t *testing.T) {
+	dev := newConvDevice(t)
+	if _, err := dev.WritePages(0, 0, pages(2, 128, 'd'), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Deallocate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.ReadPages(0, 0, 1); err == nil {
+		t.Fatal("read after TRIM succeeded")
+	}
+}

@@ -1,0 +1,241 @@
+// Package uring models io_uring with NVMe passthrough (the kernel's "I/O
+// passthru" path, Joshi et al., FAST'24): a submission queue / completion
+// queue pair shared between application and kernel, an optional SQPOLL
+// kernel poller that removes syscalls from the submission path entirely, and
+// passthru commands that bypass the page cache, filesystem, and block-layer
+// scheduler to reach the device directly — carrying an FDP placement
+// identifier end to end.
+//
+// This is the I/O path SlimIO builds on: the Redis main process owns one
+// ring for the WAL-Path and each snapshot process owns another for the
+// Snapshot-Path, so the two workloads share no kernel state (paper §4.1).
+package uring
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+)
+
+// Op is a passthru command opcode.
+type Op int
+
+const (
+	// OpWrite writes consecutive pages at an LPA with a placement ID.
+	OpWrite Op = iota
+	// OpRead reads consecutive pages from an LPA.
+	OpRead
+	// OpDeallocate TRIMs a page range.
+	OpDeallocate
+)
+
+// SQE is a submission-queue entry (one passthru NVMe command).
+type SQE struct {
+	Op    Op
+	LPA   int64
+	Pages [][]byte // OpWrite: page payloads
+	N     int64    // OpRead / OpDeallocate: page count
+	PID   uint32   // FDP placement identifier
+
+	done   *sim.Signal
+	result *CQE
+}
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	Err  error
+	Data [][]byte // OpRead results
+}
+
+// Config tunes the ring.
+type Config struct {
+	// SQPoll enables the kernel submission poller: submissions cost no
+	// syscall, only a ring write plus the poller pickup latency.
+	SQPoll bool
+	// SQPollPickup is how long the poller takes to notice a new SQE.
+	// Default 500 ns (a polling kernel thread on a dedicated core).
+	SQPollPickup sim.Duration
+	// SubmitSyscall is the io_uring_enter cost paid per submission batch
+	// when SQPoll is off. Default 1.2 µs.
+	SubmitSyscall sim.Duration
+	// RingOverhead is the user-space cost of preparing one SQE and, on the
+	// completion side, reaping one CQE. Default 150 ns.
+	RingOverhead sim.Duration
+	// DispatchCPU is the kernel-side cost to turn an SQE into an NVMe
+	// command (no block layer, no scheduler: cheaper than the kernel
+	// path's dispatch). Default 700 ns.
+	DispatchCPU sim.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.SQPollPickup <= 0 {
+		c.SQPollPickup = 500 * sim.Nanosecond
+	}
+	if c.SubmitSyscall <= 0 {
+		c.SubmitSyscall = 1200 * sim.Nanosecond
+	}
+	if c.RingOverhead <= 0 {
+		c.RingOverhead = 150 * sim.Nanosecond
+	}
+	if c.DispatchCPU <= 0 {
+		c.DispatchCPU = 700 * sim.Nanosecond
+	}
+}
+
+// Stats aggregates ring counters.
+type Stats struct {
+	Submitted   int64
+	Completed   int64
+	Syscalls    int64 // zero in SQPOLL mode
+	SQPollWakes int64
+}
+
+// Ring is one io_uring instance bound to a device. A Ring is owned by one
+// simulated process (as in the paper: one ring per I/O path) but completions
+// may be awaited by any process.
+type Ring struct {
+	eng   *sim.Engine
+	dev   *ssd.Device
+	cfg   Config
+	name  string
+	sq    []*SQE
+	cq    *sim.Queue[*SQE]
+	kick  *sim.Broadcast
+	stats Stats
+}
+
+// NewRing creates a ring over dev. With cfg.SQPoll a kernel poller daemon is
+// spawned; a CQ-handler daemon always runs, firing each SQE's completion
+// signal (the paper's "dedicated CQ handling thread").
+func NewRing(eng *sim.Engine, dev *ssd.Device, name string, cfg Config) *Ring {
+	cfg.fillDefaults()
+	r := &Ring{
+		eng:  eng,
+		dev:  dev,
+		cfg:  cfg,
+		name: name,
+		cq:   sim.NewQueue[*SQE](eng),
+		kick: sim.NewBroadcast(eng),
+	}
+	if cfg.SQPoll {
+		eng.SpawnDaemon("sqpoll:"+name, r.sqPoller)
+	}
+	eng.SpawnDaemon("cq-handler:"+name, r.cqHandler)
+	return r
+}
+
+// Stats returns cumulative ring counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// SQDepth reports entries waiting for the poller (SQPOLL mode only).
+func (r *Ring) SQDepth() int { return len(r.sq) }
+
+// Submit places an SQE on the ring and returns a signal that fires with a
+// *CQE when the command completes. In SQPOLL mode this costs the caller only
+// the ring write; otherwise it pays the submission syscall and the kernel
+// dispatch inline.
+func (r *Ring) Submit(env *sim.Env, sqe *SQE) *sim.Signal {
+	sqe.done = sim.NewSignal(r.eng)
+	r.stats.Submitted++
+	env.Work("ring", r.cfg.RingOverhead)
+	if r.cfg.SQPoll {
+		r.sq = append(r.sq, sqe)
+		r.kick.Notify()
+		return sqe.done
+	}
+	r.stats.Syscalls++
+	env.Work("syscall", r.cfg.SubmitSyscall)
+	env.Work("dispatch", r.cfg.DispatchCPU)
+	r.issue(env.Now(), sqe)
+	return sqe.done
+}
+
+// SubmitAndWait submits and blocks until completion, returning the CQE.
+func (r *Ring) SubmitAndWait(env *sim.Env, sqe *SQE) *CQE {
+	done := r.Submit(env, sqe)
+	cqe := done.Wait(env).(*CQE)
+	env.Work("ring", r.cfg.RingOverhead) // reap
+	return cqe
+}
+
+// sqPoller is the SQPOLL kernel thread: it notices new SQEs after the pickup
+// latency and dispatches them without any syscall from the application.
+func (r *Ring) sqPoller(env *sim.Env) {
+	for {
+		if len(r.sq) == 0 {
+			r.kick.Wait(env)
+			continue
+		}
+		env.Sleep(r.cfg.SQPollPickup)
+		for len(r.sq) > 0 {
+			sqe := r.sq[0]
+			r.sq = r.sq[1:]
+			r.stats.SQPollWakes++
+			env.Work("dispatch", r.cfg.DispatchCPU)
+			r.issue(env.Now(), sqe)
+		}
+	}
+}
+
+// issue translates an SQE into device operations and schedules its CQE.
+func (r *Ring) issue(now sim.Time, sqe *SQE) {
+	switch sqe.Op {
+	case OpWrite:
+		done, err := r.dev.WritePages(now, sqe.LPA, sqe.Pages, sqe.PID)
+		r.complete(done, sqe, &CQE{Err: err})
+	case OpRead:
+		data, done, err := r.dev.ReadPages(now, sqe.LPA, sqe.N)
+		r.complete(done, sqe, &CQE{Err: err, Data: data})
+	case OpDeallocate:
+		err := r.dev.Deallocate(sqe.LPA, sqe.N)
+		r.complete(now, sqe, &CQE{Err: err})
+	default:
+		r.complete(now, sqe, &CQE{Err: fmt.Errorf("uring: unknown opcode %d", sqe.Op)})
+	}
+}
+
+// complete posts the CQE at time t; the CQ handler daemon fires the waiter.
+func (r *Ring) complete(t sim.Time, sqe *SQE, cqe *CQE) {
+	sqe.result = cqe
+	r.eng.At(t, func() { r.cq.Push(sqe) })
+}
+
+// cqHandler drains the completion queue and fires each command's signal.
+func (r *Ring) cqHandler(env *sim.Env) {
+	for {
+		sqe, ok := r.cq.Pop(env)
+		if !ok {
+			return
+		}
+		env.Work("ring", r.cfg.RingOverhead)
+		r.stats.Completed++
+		sqe.done.Fire(sqe.result)
+	}
+}
+
+// Convenience wrappers for the common commands.
+
+// Write submits a multi-page write and blocks until durable.
+func (r *Ring) Write(env *sim.Env, lpa int64, pages [][]byte, pid uint32) error {
+	cqe := r.SubmitAndWait(env, &SQE{Op: OpWrite, LPA: lpa, Pages: pages, PID: pid})
+	return cqe.Err
+}
+
+// WriteAsync submits a multi-page write and returns immediately with the
+// completion signal (fired with *CQE).
+func (r *Ring) WriteAsync(env *sim.Env, lpa int64, pages [][]byte, pid uint32) *sim.Signal {
+	return r.Submit(env, &SQE{Op: OpWrite, LPA: lpa, Pages: pages, PID: pid})
+}
+
+// Read submits a multi-page read and blocks for the data.
+func (r *Ring) Read(env *sim.Env, lpa int64, n int64) ([][]byte, error) {
+	cqe := r.SubmitAndWait(env, &SQE{Op: OpRead, LPA: lpa, N: n})
+	return cqe.Data, cqe.Err
+}
+
+// Deallocate submits a TRIM and blocks until acknowledged.
+func (r *Ring) Deallocate(env *sim.Env, lpa int64, n int64) error {
+	cqe := r.SubmitAndWait(env, &SQE{Op: OpDeallocate, LPA: lpa, N: n})
+	return cqe.Err
+}

@@ -1,0 +1,28 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkAppendRecord4K(b *testing.B) {
+	key := []byte("00001234")
+	val := bytes.Repeat([]byte("v"), 4096)
+	var buf []byte
+	b.SetBytes(int64(EncodedSize(key, val)))
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], OpSet, key, val)
+	}
+}
+
+func BenchmarkDecode4K(b *testing.B) {
+	key := []byte("00001234")
+	val := bytes.Repeat([]byte("v"), 4096)
+	buf := AppendRecord(nil, OpSet, key, val)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package wal provides the write-ahead-log record format and the user-level
+// write buffer shared by the baseline and SlimIO persistence backends.
+//
+// Records are CRC-framed so a decoder can detect a torn tail after a crash:
+// everything up to the first bad frame is the durable prefix, matching how
+// Redis truncates a partial AOF on startup.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op is the logged operation type.
+type Op uint8
+
+const (
+	// OpSet records a key/value write.
+	OpSet Op = 1
+	// OpDel records a key deletion (empty value).
+	OpDel Op = 2
+)
+
+// Record is one logged mutation.
+type Record struct {
+	Op    Op
+	Key   []byte
+	Value []byte
+}
+
+const recordMagic = 0xA5
+
+// headerSize is magic(1) + op(1) + keyLen(4) + valLen(4) + crc(4).
+const headerSize = 14
+
+// EncodedSize returns the framed size of a record.
+func EncodedSize(key, value []byte) int { return headerSize + len(key) + len(value) }
+
+// AppendRecord appends the framed record to dst and returns the result.
+func AppendRecord(dst []byte, op Op, key, value []byte) []byte {
+	var hdr [headerSize]byte
+	hdr[0] = recordMagic
+	hdr[1] = byte(op)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(value)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:10])
+	crc.Write(key)
+	crc.Write(value)
+	binary.LittleEndian.PutUint32(hdr[10:14], crc.Sum32())
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	return dst
+}
+
+// ErrTornRecord marks a frame that fails validation: the readable prefix
+// before it is the recoverable log.
+var ErrTornRecord = fmt.Errorf("wal: torn or corrupt record")
+
+// Decode parses one record at the front of buf. It returns the record and
+// the number of bytes consumed, or ErrTornRecord (n==0) when the frame is
+// incomplete or corrupt.
+func Decode(buf []byte) (rec Record, n int, err error) {
+	if len(buf) < headerSize {
+		return rec, 0, ErrTornRecord
+	}
+	if buf[0] != recordMagic {
+		return rec, 0, ErrTornRecord
+	}
+	keyLen := binary.LittleEndian.Uint32(buf[2:6])
+	valLen := binary.LittleEndian.Uint32(buf[6:10])
+	total := headerSize + int(keyLen) + int(valLen)
+	if int(keyLen) > 1<<24 || int(valLen) > 1<<28 || len(buf) < total {
+		return rec, 0, ErrTornRecord
+	}
+	want := binary.LittleEndian.Uint32(buf[10:14])
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:10])
+	crc.Write(buf[headerSize:total])
+	if crc.Sum32() != want {
+		return rec, 0, ErrTornRecord
+	}
+	rec.Op = Op(buf[1])
+	rec.Key = append([]byte(nil), buf[headerSize:headerSize+int(keyLen)]...)
+	rec.Value = append([]byte(nil), buf[headerSize+int(keyLen):total]...)
+	return rec, total, nil
+}
+
+// DecodeAll parses records until the buffer ends or a torn frame is hit,
+// returning the valid prefix. A trailing run of zero bytes (an unwritten
+// page tail) is not an error; any other trailing garbage is reported via
+// truncated=true so callers can log it.
+func DecodeAll(buf []byte) (recs []Record, truncated bool) {
+	for len(buf) > 0 {
+		rec, n, err := Decode(buf)
+		if err != nil {
+			for _, b := range buf {
+				if b != 0 {
+					return recs, true
+				}
+			}
+			return recs, false
+		}
+		recs = append(recs, rec)
+		buf = buf[n:]
+	}
+	return recs, false
+}
+
+// Buffer is the user-level WAL write buffer (the paper's "Periodical-Log"
+// staging area): records accumulate here and drain to the backend either
+// when the server goes idle, when the buffer exceeds a size threshold, or on
+// the flush timer.
+type Buffer struct {
+	buf      []byte
+	records  int
+	appended int64 // lifetime bytes appended, for WAL-snapshot triggering
+}
+
+// Append frames a record into the buffer.
+func (b *Buffer) Append(op Op, key, value []byte) {
+	before := len(b.buf)
+	b.buf = AppendRecord(b.buf, op, key, value)
+	b.records++
+	b.appended += int64(len(b.buf) - before)
+}
+
+// Len reports buffered (un-drained) bytes.
+func (b *Buffer) Len() int { return len(b.buf) }
+
+// Records reports buffered record count.
+func (b *Buffer) Records() int { return b.records }
+
+// AppendedTotal reports lifetime bytes appended (drained or not).
+func (b *Buffer) AppendedTotal() int64 { return b.appended }
+
+// Drain returns the buffered bytes and resets the buffer. The returned slice
+// is owned by the caller.
+func (b *Buffer) Drain() []byte {
+	out := b.buf
+	b.buf = nil
+	b.records = 0
+	return out
+}
+
+// Reset discards buffered data and the lifetime counter (used when a
+// WAL-snapshot supersedes the log).
+func (b *Buffer) Reset() {
+	b.buf = nil
+	b.records = 0
+	b.appended = 0
+}

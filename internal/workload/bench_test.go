@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkZipfNext(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	zetan := zetaSum(1_000_000, zipfTheta)
+	g := newZipfGen(rng, 1_000_000, zetan)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.next()
+	}
+}
+
+func BenchmarkZetaSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = zetaSum(100_000, zipfTheta)
+	}
+}

@@ -1,0 +1,262 @@
+// Package workload implements the paper's two benchmark drivers as
+// closed-loop client processes: the redis-benchmark SET workload (50
+// clients, uniform keys, 4 KiB values) and YCSB-A (8 threads, zipfian keys,
+// 50/50 GET:SET, 2 KiB values). Both record per-operation latency
+// histograms and can run for a fixed operation count or open-ended (for the
+// runtime-RPS timelines of Figures 4–5).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Distribution selects the key popularity distribution.
+type Distribution int
+
+const (
+	// Uniform keys (redis-benchmark's default random keyspace).
+	Uniform Distribution = iota
+	// Zipfian keys (YCSB's default request distribution).
+	Zipfian
+)
+
+// Config describes a workload.
+type Config struct {
+	// Clients is the number of closed-loop client processes.
+	Clients int
+	// Ops is the total operation count across all clients; 0 means run
+	// open-ended (stop the engine externally).
+	Ops int64
+	// KeyRange is the keyspace size.
+	KeyRange int64
+	// KeySize pads keys to this many bytes (paper: 8).
+	KeySize int
+	// ValueSize is the value payload size (paper: 4096 / 2048).
+	ValueSize int
+	// ReadRatio is the GET fraction (0 = SET-only, YCSB-A = 0.5).
+	ReadRatio float64
+	// Dist selects the key distribution.
+	Dist Distribution
+	// Seed makes the workload reproducible.
+	Seed int64
+	// ValuePoolSize is how many distinct pre-generated values rotate
+	// through SETs (values are half-compressible). Default 64.
+	ValuePoolSize int
+}
+
+// RedisBench returns the paper's redis-benchmark configuration scaled to
+// the given op count and key range (paper: 50 clients, 5.3 M keys, 8 B keys,
+// 4096 B values, 28 M SETs).
+func RedisBench(ops, keyRange int64) Config {
+	return Config{
+		Clients:   50,
+		Ops:       ops,
+		KeyRange:  keyRange,
+		KeySize:   8,
+		ValueSize: 4096,
+		ReadRatio: 0,
+		Dist:      Uniform,
+		Seed:      1,
+	}
+}
+
+// YCSBA returns the paper's YCSB-A configuration scaled to the given op
+// count and record count (paper: 8 threads, 9 M records, 115 M ops, 2048 B
+// values, 0.5 GET).
+func YCSBA(ops, records int64) Config {
+	return Config{
+		Clients:   8,
+		Ops:       ops,
+		KeyRange:  records,
+		KeySize:   8,
+		ValueSize: 2048,
+		ReadRatio: 0.5,
+		Dist:      Zipfian,
+		Seed:      1,
+	}
+}
+
+// YCSBB returns a YCSB-B configuration (95% reads, zipfian) — not used by
+// the paper but handy for read-heavy studies on the same stack.
+func YCSBB(ops, records int64) Config {
+	c := YCSBA(ops, records)
+	c.ReadRatio = 0.95
+	return c
+}
+
+// YCSBC returns a YCSB-C configuration (read-only, zipfian).
+func YCSBC(ops, records int64) Config {
+	c := YCSBA(ops, records)
+	c.ReadRatio = 1.0
+	return c
+}
+
+// Result aggregates a finished (or stopped) workload run.
+type Result struct {
+	SetLatency metrics.Histogram
+	GetLatency metrics.Histogram
+	Ops        int64
+	Start, End sim.Time
+}
+
+// RPS reports overall completed operations per second of virtual time.
+func (r *Result) RPS() float64 {
+	d := r.End.Sub(r.Start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / d
+}
+
+// Runner drives one workload against one engine.
+type Runner struct {
+	cfg Config
+	db  *imdb.Engine
+	// Done fires when every client has issued its share of Ops.
+	Done *sim.Signal
+
+	res     Result
+	pending int
+}
+
+// Start spawns the client processes on eng against db.
+func Start(eng *sim.Engine, db *imdb.Engine, cfg Config) *Runner {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.ValuePoolSize <= 0 {
+		cfg.ValuePoolSize = 64
+	}
+	r := &Runner{cfg: cfg, db: db, Done: sim.NewSignal(eng)}
+	r.res.Start = eng.Now()
+	r.pending = cfg.Clients
+	pool := valuePool(cfg.ValuePoolSize, cfg.ValueSize, cfg.Seed)
+	var zetan float64
+	if cfg.Dist == Zipfian {
+		zetan = zetaSum(uint64(cfg.KeyRange), zipfTheta)
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		share := int64(0)
+		if cfg.Ops > 0 {
+			share = cfg.Ops / int64(cfg.Clients)
+			if int64(c) < cfg.Ops%int64(cfg.Clients) {
+				share++
+			}
+		}
+		client := &client{
+			runner: r,
+			id:     c,
+			ops:    share,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(c)*7919)),
+			pool:   pool,
+		}
+		if cfg.Dist == Zipfian {
+			client.zipf = newZipfGen(client.rng, uint64(cfg.KeyRange), zetan)
+		}
+		name := fmt.Sprintf("client-%d", c)
+		if cfg.Ops == 0 {
+			eng.SpawnDaemon(name, client.run) // open-ended: stopped externally
+		} else {
+			eng.Spawn(name, client.run)
+		}
+	}
+	return r
+}
+
+// Result returns the aggregated metrics (valid once Done fires, or at any
+// point for open-ended runs).
+func (r *Runner) Result() *Result { return &r.res }
+
+// valuePool pre-generates half-compressible values so SET payloads are
+// cheap to produce but still realistic for the compressor.
+func valuePool(n, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	pool := make([][]byte, n)
+	for i := range pool {
+		v := make([]byte, size)
+		rng.Read(v[:size/2])
+		pool[i] = v
+	}
+	return pool
+}
+
+type client struct {
+	runner *Runner
+	id     int
+	ops    int64 // 0 = unbounded
+	rng    *rand.Rand
+	zipf   *zipfGen
+	pool   [][]byte
+}
+
+func (c *client) key() string {
+	cfg := &c.runner.cfg
+	var k int64
+	switch cfg.Dist {
+	case Zipfian:
+		k = int64(c.zipf.next())
+		if k >= cfg.KeyRange {
+			k = cfg.KeyRange - 1
+		}
+	default:
+		k = c.rng.Int63n(cfg.KeyRange)
+	}
+	return fmt.Sprintf("%0*d", cfg.KeySize, k)
+}
+
+func (c *client) run(env *sim.Env) {
+	cfg := &c.runner.cfg
+	for i := int64(0); c.ops == 0 || i < c.ops; i++ {
+		isGet := cfg.ReadRatio > 0 && c.rng.Float64() < cfg.ReadRatio
+		req := &imdb.Request{Key: c.key(), Reply: sim.NewSignal(env.Engine())}
+		if isGet {
+			req.Op = imdb.OpGet
+		} else {
+			req.Op = imdb.OpSet
+			req.Value = c.pool[c.rng.Intn(len(c.pool))]
+		}
+		start := env.Now()
+		c.runner.db.Submit(req)
+		resp := req.Reply.Wait(env).(*imdb.Response)
+		if resp.Err != nil {
+			panic(fmt.Sprintf("workload: client %d op failed: %v", c.id, resp.Err))
+		}
+		lat := env.Now().Sub(start)
+		if isGet {
+			c.runner.res.GetLatency.Record(lat)
+		} else {
+			c.runner.res.SetLatency.Record(lat)
+		}
+		c.runner.res.Ops++
+		c.runner.res.End = env.Now()
+	}
+	c.runner.pending--
+	if c.runner.pending == 0 {
+		c.runner.Done.Fire(c.runner.res)
+	}
+}
+
+// Preload sequentially inserts every key in [0, KeyRange) once — YCSB's
+// load phase. It runs in the calling process and records no latency.
+func Preload(env *sim.Env, db *imdb.Engine, cfg Config) error {
+	pool := valuePool(max(cfg.ValuePoolSize, 16), cfg.ValueSize, cfg.Seed^0x10ad)
+	for i := int64(0); i < cfg.KeyRange; i++ {
+		key := fmt.Sprintf("%0*d", cfg.KeySize, i)
+		if err := db.Set(env, key, pool[i%int64(len(pool))]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfTheta is YCSB's default zipfian constant.
+const zipfTheta = 0.99
+
+// zipfGen draws zipfian-distributed items in [0, items) using the classic
+// Gray et al. "Quickly generating billion-record synthetic databases"
+// algorithm, as YCSB does (θ = 0.99). The O(n) zeta sum is computed once and
+// shared across clients.
+type zipfGen struct {
+	rng   *rand.Rand
+	items uint64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // pow(0.5, theta)
+}
+
+// zetaSum computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zetaSum(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+// newZipfGen builds a generator; zetan must be zetaSum(items, zipfTheta).
+func newZipfGen(rng *rand.Rand, items uint64, zetan float64) *zipfGen {
+	theta := zipfTheta
+	zeta2 := zetaSum(2, theta)
+	return &zipfGen{
+		rng:   rng,
+		items: items,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(items), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+func (z *zipfGen) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,168 @@
+// Package slimio is the public face of the SlimIO reproduction: a
+// lightweight persistence I/O path for in-memory databases (io_uring
+// passthru onto raw LBA space of an FDP SSD, with per-lifetime placement
+// identifiers), together with the complete simulated substrate it runs on —
+// NAND array, FDP and conventional FTLs, kernel I/O path, io_uring rings,
+// a Redis-like engine, workloads, and the experiment harness that
+// regenerates every table and figure of the paper.
+//
+// Everything executes inside a deterministic discrete-event simulation
+// (virtual time, seeded randomness); see DESIGN.md for the modelling
+// decisions and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The quickest way in:
+//
+//	sys, _ := slimio.NewSystem(slimio.SystemConfig{DeviceBytes: 64 << 20})
+//	sys.Sim.Spawn("client", func(env *slimio.Env) {
+//		_ = sys.DB.Set(env, "key", []byte("value"))
+//		sys.DB.TriggerSnapshot(slimio.OnDemandSnapshot)
+//		sys.DB.Shutdown(env)
+//	})
+//	sys.Sim.Run()
+//
+// For experiments, use the exp harness re-exported here (RunTable3,
+// RunFigure5, ...) or the cmd/slimio-bench CLI.
+package slimio
+
+import (
+	"github.com/slimio/slimio/internal/core"
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/fdp"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+// Simulation kernel.
+type (
+	// Sim is the discrete-event engine all components run on.
+	Sim = sim.Engine
+	// Env is a simulation process's handle (passed to process bodies).
+	Env = sim.Env
+	// Duration is virtual time; see Millisecond/Second constants.
+	Duration = sim.Duration
+	// Time is an absolute virtual timestamp.
+	Time = sim.Time
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Device layer.
+type (
+	// Geometry describes the simulated NAND array.
+	Geometry = nand.Geometry
+	// Device is the NVMe-style front-end.
+	Device = ssd.Device
+	// FDPConfig tunes the FDP flash translation layer.
+	FDPConfig = fdp.Config
+)
+
+// Database engine and SlimIO backend.
+type (
+	// DB is the Redis-like in-memory database engine.
+	DB = imdb.Engine
+	// DBConfig tunes the engine (logging policy, WAL-snapshot trigger...).
+	DBConfig = imdb.Config
+	// Backend is SlimIO: the passthru persistence backend.
+	Backend = core.Backend
+	// BackendConfig tunes SlimIO's LBA layout and rings.
+	BackendConfig = core.Config
+	// SnapshotKind selects WAL-Snapshot vs On-Demand-Snapshot.
+	SnapshotKind = imdb.SnapshotKind
+	// LogPolicy selects Periodical-Log vs Always-Log.
+	LogPolicy = imdb.LogPolicy
+	// WorkloadConfig describes a benchmark driver.
+	WorkloadConfig = workload.Config
+)
+
+// Re-exported enum values.
+const (
+	WALSnapshot      = imdb.WALSnapshot
+	OnDemandSnapshot = imdb.OnDemandSnapshot
+	PeriodicalLog    = imdb.PeriodicalLog
+	AlwaysLog        = imdb.AlwaysLog
+)
+
+// Experiment harness (regenerates the paper's evaluation).
+type (
+	// Scale sizes an experiment.
+	Scale = exp.Scale
+	// CellConfig describes one measured configuration.
+	CellConfig = exp.CellConfig
+	// CellResult is its outcome.
+	CellResult = exp.CellResult
+	// BackendKind selects a full storage stack.
+	BackendKind = exp.BackendKind
+)
+
+// Harness entry points.
+var (
+	SmallScale = exp.SmallScale
+	TinyScale  = exp.TinyScale
+	PaperScale = exp.PaperScale
+	RunCell    = exp.RunCell
+	RunTable1  = exp.RunTable1
+	RunTable2  = exp.RunTable2
+	RunTable3  = exp.RunTable3
+	RunTable4  = exp.RunTable4
+	RunTable5  = exp.RunTable5
+	RunFigure2 = exp.RunFigure2
+	RunFigure4 = exp.RunFigure4
+	RunFigure5 = exp.RunFigure5
+
+	// RedisBench and YCSBA build the paper's two workloads.
+	RedisBench = workload.RedisBench
+	YCSBA      = workload.YCSBA
+)
+
+// SystemConfig sizes a ready-to-use SlimIO system.
+type SystemConfig struct {
+	// DeviceBytes is the simulated FDP SSD capacity (default 64 MiB).
+	DeviceBytes int64
+	// DB tunes the database engine.
+	DB DBConfig
+	// Backend tunes SlimIO's layout; zero values pick sensible defaults.
+	Backend BackendConfig
+}
+
+// System bundles an assembled stack: simulation engine, FDP device, SlimIO
+// backend, and a started database engine.
+type System struct {
+	Sim     *Sim
+	Device  *Device
+	Backend *Backend
+	DB      *DB
+}
+
+// NewSystem assembles the full SlimIO stack on a fresh simulated FDP SSD
+// and starts the database engine. Drive it by spawning client processes on
+// sys.Sim and then calling sys.Sim.Run().
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.DeviceBytes <= 0 {
+		cfg.DeviceBytes = 64 << 20
+	}
+	arr, err := nand.New(nand.DefaultGeometry(cfg.DeviceBytes), nand.DefaultLatencies())
+	if err != nil {
+		return nil, err
+	}
+	ftl, err := fdp.New(arr, fdp.Config{})
+	if err != nil {
+		return nil, err
+	}
+	dev := ssd.New(ftl, ssd.Config{})
+	eng := sim.NewEngine()
+	be, err := core.New(eng, dev, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	db := imdb.New(eng, be, cfg.DB, nil)
+	db.Start()
+	return &System{Sim: eng, Device: dev, Backend: be, DB: db}, nil
+}

@@ -1,0 +1,58 @@
+package slimio_test
+
+import (
+	"fmt"
+	"testing"
+
+	slimio "github.com/slimio/slimio"
+)
+
+// TestPublicAPISystem exercises the package façade end to end: build a
+// system, serve traffic, snapshot, and check invariants through exported
+// names only.
+func TestPublicAPISystem(t *testing.T) {
+	sys, err := slimio.NewSystem(slimio.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Sim.Spawn("client", func(env *slimio.Env) {
+		for i := 0; i < 200; i++ {
+			if err := sys.DB.Set(env, fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		got, err := sys.DB.Get(env, "k007")
+		if err != nil || string(got) != "v" {
+			t.Errorf("get = %q, %v", got, err)
+		}
+		trig := sys.DB.TriggerSnapshot(slimio.OnDemandSnapshot)
+		trig.Reply.Wait(env)
+		sys.DB.WaitNoSnapshot(env)
+		sys.DB.Shutdown(env)
+	})
+	sys.Sim.Run()
+
+	if n := len(sys.DB.Stats().Snapshots); n != 1 {
+		t.Fatalf("snapshots = %d", n)
+	}
+	if waf := sys.Device.Stats().WAF(); waf != 1.0 {
+		t.Fatalf("WAF = %v", waf)
+	}
+}
+
+// ExampleNewSystem is the doc example for the package front page.
+func ExampleNewSystem() {
+	sys, err := slimio.NewSystem(slimio.SystemConfig{DeviceBytes: 32 << 20})
+	if err != nil {
+		panic(err)
+	}
+	sys.Sim.Spawn("client", func(env *slimio.Env) {
+		_ = sys.DB.Set(env, "answer", []byte("42"))
+		v, _ := sys.DB.Get(env, "answer")
+		fmt.Printf("answer = %s\n", v)
+		sys.DB.Shutdown(env)
+	})
+	sys.Sim.Run()
+	// Output: answer = 42
+}
