@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
 )
 
@@ -33,6 +35,11 @@ func main() {
 		reps    = flag.Int("reps", 0, "override repetitions")
 		trigger = flag.Int64("trigger", 0, "override WAL-snapshot trigger in MiB")
 		window  = flag.Duration("window", 0, "override figure 4/5 window (virtual time)")
+
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for the deterministic fault plan")
+		readErr    = flag.Float64("read-err-rate", 0, "per-read probability of a transient read failure")
+		programErr = flag.Float64("program-err-rate", 0, "per-program probability of a permanent failure (retires the block)")
+		eraseErr   = flag.Float64("erase-err-rate", 0, "per-erase probability of an erase failure (retires the block)")
 	)
 	flag.Parse()
 
@@ -59,6 +66,12 @@ func main() {
 	if *window > 0 {
 		figWindow = sim.Duration(window.Nanoseconds())
 	}
+	ctr := &metrics.Counter{}
+	sc.FaultSeed = *faultSeed
+	sc.ReadErrRate = *readErr
+	sc.ProgramErrRate = *programErr
+	sc.EraseErrRate = *eraseErr
+	sc.Metrics = ctr
 
 	wanted := strings.Split(*expName, ",")
 	has := func(name string) bool {
@@ -96,7 +109,28 @@ func main() {
 	run("table5", func() (fmt.Stringer, error) { return exp.RunTable5(sc) })
 	run("fig4", func() (fmt.Stringer, error) { return runFigure(4, sc, figWindow) })
 	run("fig5", func() (fmt.Stringer, error) { return runFigure(5, sc, figWindow) })
+	printFaultCounters(ctr)
 	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
+}
+
+// printFaultCounters summarizes injected faults and how the stack absorbed
+// them (retries, retired blocks, migrations, lost pages) across every
+// experiment that ran. Silent when nothing was injected or counted.
+func printFaultCounters(ctr *metrics.Counter) {
+	snap := ctr.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("Fault & error-handling counters (all experiments):")
+	for _, name := range names {
+		fmt.Printf("  %-24s %d\n", name, snap[name])
+	}
+	fmt.Println()
 }
 
 type figureReport struct {

@@ -10,10 +10,14 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/kernelio"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/wal"
 )
 
 const (
@@ -46,6 +50,61 @@ func New(fs *kernelio.Filesystem) (*Backend, error) {
 		return nil, err
 	}
 	return &Backend{fs: fs, walFile: walFile, ReadChunk: 128 << 10}, nil
+}
+
+// Remount re-attaches a backend to a crash-remounted filesystem: WAL
+// segment files are rediscovered by directory scan (lowest generation is the
+// oldest sealed segment, the highest is the open one), the way Redis lists
+// its multipart AOF at startup. A filesystem with no WAL files gets a fresh
+// segment, like New.
+func Remount(fs *kernelio.Filesystem) (*Backend, error) {
+	type segFile struct {
+		gen  int
+		name string
+	}
+	var segs []segFile
+	tmpGen := 0
+	for _, name := range fs.Names() {
+		var gen int
+		if _, err := fmt.Sscanf(name, walName+".%d", &gen); err == nil {
+			segs = append(segs, segFile{gen, name})
+			continue
+		}
+		// Skip past orphaned snapshot temp files (a snapshot in flight at
+		// the crash) so fresh temp names never collide; recovery ignores
+		// their contents.
+		if strings.HasPrefix(name, "dump-") && strings.HasSuffix(name, ".tmp") {
+			base := strings.TrimSuffix(name, ".tmp")
+			if i := strings.LastIndexByte(base, '-'); i >= 0 {
+				if g, err := strconv.Atoi(base[i+1:]); err == nil && g > tmpGen {
+					tmpGen = g
+				}
+			}
+		}
+	}
+	if len(segs) == 0 {
+		b, err := New(fs)
+		if err != nil {
+			return nil, err
+		}
+		b.tmpGen = tmpGen
+		return b, nil
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+	b := &Backend{fs: fs, tmpGen: tmpGen, ReadChunk: 128 << 10}
+	for i, s := range segs {
+		f, err := fs.Open(s.name)
+		if err != nil {
+			return nil, err
+		}
+		if i == len(segs)-1 {
+			b.walFile = f
+			b.walGen = s.gen
+		} else {
+			b.sealed = append(b.sealed, f)
+		}
+	}
+	return b, nil
 }
 
 // Filesystem exposes the underlying filesystem (for stats).
@@ -132,47 +191,71 @@ func (b *Backend) BeginSnapshot(env *sim.Env, kind imdb.SnapshotKind) (imdb.Snap
 	return &fileSink{be: b, tmp: tmp, final: final}, nil
 }
 
-// readAll reads a whole file through the kernel path in ReadChunk slices.
-func (b *Backend) readAll(env *sim.Env, name string) ([]byte, error) {
+// readAll reads a whole file through the kernel path in ReadChunk slices. A
+// device read failure mid-file (retries already exhausted below) stops the
+// scan: the prefix read so far is returned with a degradation note, because
+// a durable-prefix recovery beats refusing to start.
+func (b *Backend) readAll(env *sim.Env, name string) (data []byte, note string, err error) {
 	f, err := b.fs.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	out := make([]byte, 0, f.Size())
 	for off := int64(0); off < f.Size(); off += int64(b.ReadChunk) {
 		chunk, err := f.Read(env, off, b.ReadChunk)
 		if err != nil {
-			return nil, err
+			return out, fmt.Sprintf("%s: unreadable at byte %d of %d: %v", name, off, f.Size(), err), nil
 		}
 		out = append(out, chunk...)
 	}
-	return out, nil
+	return out, "", nil
 }
 
 // Recover loads the preferred snapshot (WAL-Snapshot first, as Redis
-// prefers the log-coupled pair) plus the durable WAL.
+// prefers the log-coupled pair) plus the durable WAL. The open segment is
+// truncated to its durable prefix afterwards, as Redis truncates a partial
+// AOF, so post-recovery appends continue exactly where replay stopped.
 func (b *Backend) Recover(env *sim.Env) (*imdb.Recovered, error) {
-	rec := &imdb.Recovered{}
+	rec := &imdb.Recovered{WALTruncatedAt: -1}
+	note := ""
+	var err error
 	switch {
 	case b.fs.Exists(walSnapName):
-		img, err := b.readAll(env, walSnapName)
-		if err != nil {
-			return nil, err
-		}
-		rec.HaveSnapshot, rec.Kind, rec.Snapshot = true, imdb.WALSnapshot, img
+		rec.Snapshot, note, err = b.readAll(env, walSnapName)
+		rec.HaveSnapshot, rec.Kind = true, imdb.WALSnapshot
 	case b.fs.Exists(odSnapName):
-		img, err := b.readAll(env, odSnapName)
-		if err != nil {
-			return nil, err
-		}
-		rec.HaveSnapshot, rec.Kind, rec.Snapshot = true, imdb.OnDemandSnapshot, img
+		rec.Snapshot, note, err = b.readAll(env, odSnapName)
+		rec.HaveSnapshot, rec.Kind = true, imdb.OnDemandSnapshot
+	}
+	if err != nil {
+		return nil, err
+	}
+	if note != "" {
+		rec.Degraded = append(rec.Degraded, note)
 	}
 	for _, f := range append(append([]*kernelio.File(nil), b.sealed...), b.walFile) {
-		seg, err := b.readAll(env, f.Name())
+		seg, note, err := b.readAll(env, f.Name())
 		if err != nil {
 			return nil, err
 		}
+		if note != "" {
+			rec.Degraded = append(rec.Degraded, note)
+		}
 		rec.WALSegments = append(rec.WALSegments, seg)
+	}
+	// After a crash the open segment can end in a torn tail (non-zero
+	// garbage from a partial page) or lost zero pages; record where the
+	// durable prefix ends and truncate the file to it so appends resume
+	// there. A live (non-crash) Recover leaves the file alone — its cache
+	// is the source of truth and need not hold framed records.
+	if b.fs.CrashMounted() {
+		open := rec.WALSegments[len(rec.WALSegments)-1]
+		_, prefix, corrupt := wal.DecodeStream(open)
+		if corrupt {
+			rec.WALTruncatedAt = prefix
+			rec.Degraded = append(rec.Degraded, fmt.Sprintf("%s: decode stopped on non-zero garbage at byte %d of %d", b.walFile.Name(), prefix, len(open)))
+		}
+		b.walFile.Truncate(prefix)
 	}
 	return rec, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 	"github.com/slimio/slimio/internal/uring"
@@ -416,7 +417,7 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 			newest, newestIdx = rec, i
 		}
 	}
-	out := &imdb.Recovered{}
+	out := &imdb.Recovered{WALTruncatedAt: -1}
 	if newest != nil {
 		b.meta = *newest
 		b.metaCursor = newestIdx + 1
@@ -449,9 +450,14 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 		}
 	}
 	if slot >= 0 {
-		img, err := b.readSequential(env, b.lay.slotStart[slot], pagesNeeded(b.meta.slotBytes[slot], b.pageSize))
+		img, bad, err := b.readSequential(env, b.lay.slotStart[slot], pagesNeeded(b.meta.slotBytes[slot], b.pageSize))
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot read: %w", err)
+		}
+		if bad > 0 {
+			// Unreadable pages were zero-filled; the snapshot loader will
+			// stop at the hole and the WAL replay covers what it can.
+			out.Degraded = append(out.Degraded, fmt.Sprintf("snapshot slot %d: %d unreadable pages zero-filled", slot, bad))
 		}
 		if int64(len(img)) > b.meta.slotBytes[slot] {
 			img = img[:b.meta.slotBytes[slot]]
@@ -467,9 +473,12 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 			continue
 		}
 		segPages := pagesNeeded(segLen, b.pageSize)
-		seg, err := b.readRingPages(env, segOff, segPages)
+		seg, bad, err := b.readRingPages(env, segOff, segPages)
 		if err != nil {
 			return nil, fmt.Errorf("core: sealed segment read: %w", err)
+		}
+		if bad > 0 {
+			out.Degraded = append(out.Degraded, fmt.Sprintf("sealed wal segment %d: %d unreadable pages zero-filled", len(out.WALSegments), bad))
 		}
 		if int64(len(seg)) > segLen {
 			seg = seg[:segLen]
@@ -480,18 +489,22 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 
 	// 4. Open segment: read forward from its head until the first
 	// unwritten page; the CRC framing then finds the valid prefix.
-	openRaw, err := b.readWALRaw(env, segOff)
-	if err != nil {
-		return nil, err
+	openRaw, stopNote := b.readWALRaw(env, segOff)
+	if stopNote != "" {
+		out.Degraded = append(out.Degraded, stopNote)
 	}
 	out.WALSegments = append(out.WALSegments, openRaw)
 
 	// 5. Restore append state: continue after the last whole record of the
-	// open segment.
-	recs, _ := wal.DecodeAll(openRaw)
-	var consumed int64
-	for _, r := range recs {
-		consumed += int64(wal.EncodedSize(r.Key, r.Value))
+	// open segment. A bad frame past the last whole record is either the
+	// expected torn tail of the crashed write (non-zero garbage from a
+	// partial page program) or real mid-segment corruption — both record
+	// where the durable prefix ends; only a clean zero tail leaves
+	// WALTruncatedAt at -1.
+	_, consumed, corrupt := wal.DecodeStream(openRaw)
+	if corrupt {
+		out.WALTruncatedAt = consumed
+		out.Degraded = append(out.Degraded, fmt.Sprintf("open wal segment: decode stopped on non-zero garbage at byte %d of %d", consumed, len(openRaw)))
 	}
 	b.walBytes = consumed
 	b.walFullPages = consumed / b.pageSize
@@ -505,9 +518,11 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 }
 
 // readWALRaw reads WAL-region pages sequentially from ring offset start
-// (with read-ahead) until an unwritten page or the region end.
-func (b *Backend) readWALRaw(env *sim.Env, start int64) ([]byte, error) {
-	var out []byte
+// (with read-ahead) until an unwritten page or the region end. An unwritten
+// page is the normal end of the log; a device read failure (retries already
+// exhausted below) also ends the scan — everything durable before it is the
+// recoverable prefix — and is reported in the returned note.
+func (b *Backend) readWALRaw(env *sim.Env, start int64) (out []byte, note string) {
 	ra := b.cfg.RecoveryReadAhead
 	remaining := b.lay.walPages - b.sealedPages()
 	for off := int64(0); off < remaining; {
@@ -524,6 +539,9 @@ func (b *Backend) readWALRaw(env *sim.Env, start int64) ([]byte, error) {
 				for i := int64(0); i < run.n; i++ {
 					pg, perr := b.walRing.Read(env, run.start+i, 1)
 					if perr != nil {
+						if nand.IsDeviceError(perr) {
+							note = fmt.Sprintf("open wal segment: unreadable page at ring offset %d ends the scan: %v", run.start+i, perr)
+						}
 						stop = true
 						break
 					}
@@ -543,19 +561,23 @@ func (b *Backend) readWALRaw(env *sim.Env, start int64) ([]byte, error) {
 		}
 		off += n
 	}
-	return out, nil
+	return out, note
 }
 
 // readRingPages reads exactly n pages starting at ring offset start,
-// tolerating unwritten pages (an unsynced sealed tail reads as zeros).
-func (b *Backend) readRingPages(env *sim.Env, start, n int64) ([]byte, error) {
-	var out []byte
+// tolerating unwritten pages (an unsynced sealed tail reads as zeros) and
+// unreadable ones (zero-filled; bad counts only real device failures so
+// recovery can report the degradation).
+func (b *Backend) readRingPages(env *sim.Env, start, n int64) (out []byte, bad int64, err error) {
 	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, start, n) {
 		data, err := b.walRing.Read(env, run.start, run.n)
 		if err != nil {
 			for i := int64(0); i < run.n; i++ {
 				pg, perr := b.walRing.Read(env, run.start+i, 1)
 				if perr != nil {
+					if nand.IsDeviceError(perr) {
+						bad++
+					}
 					out = appendPage(out, nil, b.pageSize)
 					continue
 				}
@@ -567,7 +589,7 @@ func (b *Backend) readRingPages(env *sim.Env, start, n int64) ([]byte, error) {
 			out = appendPage(out, pg, b.pageSize)
 		}
 	}
-	return out, nil
+	return out, bad, nil
 }
 
 // appendPage appends a device page, zero-padding short (tail) pages so
@@ -582,9 +604,11 @@ func appendPage(dst, pg []byte, pageSize int64) []byte {
 
 // readSequential reads n pages from lpa with a double-buffered read-ahead
 // pipeline: the next batch is in flight while the current one is consumed.
-// This is the §5.3 recovery reader.
-func (b *Backend) readSequential(env *sim.Env, lpa, n int64) ([]byte, error) {
-	out := make([]byte, 0, n*b.pageSize)
+// This is the §5.3 recovery reader. A failed batch falls back to single-page
+// reads to salvage what it can; pages that still fail (device retries are
+// already exhausted below this layer) are zero-filled and counted in bad.
+func (b *Backend) readSequential(env *sim.Env, lpa, n int64) (out []byte, bad int64, err error) {
+	out = make([]byte, 0, n*b.pageSize)
 	ra := b.cfg.RecoveryReadAhead
 	issue := func(off int64) *sim.Signal {
 		cnt := ra
@@ -594,7 +618,7 @@ func (b *Backend) readSequential(env *sim.Env, lpa, n int64) ([]byte, error) {
 		return b.walRing.Submit(env, &uring.SQE{Op: uring.OpRead, LPA: lpa + off, N: cnt})
 	}
 	if n == 0 {
-		return out, nil
+		return out, 0, nil
 	}
 	pendingSig := issue(0)
 	for off := int64(0); off < n; off += ra {
@@ -604,11 +628,24 @@ func (b *Backend) readSequential(env *sim.Env, lpa, n int64) ([]byte, error) {
 		}
 		cqe := sig.Wait(env).(*uring.CQE)
 		if cqe.Err != nil {
-			return nil, cqe.Err
+			cnt := ra
+			if off+cnt > n {
+				cnt = n - off
+			}
+			for i := int64(0); i < cnt; i++ {
+				pg, perr := b.walRing.Read(env, lpa+off+i, 1)
+				if perr != nil {
+					bad++
+					out = appendPage(out, nil, b.pageSize)
+					continue
+				}
+				out = appendPage(out, pg[0], b.pageSize)
+			}
+			continue
 		}
 		for _, pg := range cqe.Data {
 			out = appendPage(out, pg, b.pageSize)
 		}
 	}
-	return out, nil
+	return out, bad, nil
 }

@@ -14,9 +14,11 @@ import (
 
 	"github.com/slimio/slimio/internal/baseline"
 	"github.com/slimio/slimio/internal/core"
+	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/fdp"
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/kernelio"
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
@@ -87,6 +89,16 @@ type Scale struct {
 	RPSInterval sim.Duration
 	// ValueSize overrides the workload's value size when non-zero.
 	ValueSize int
+
+	// Fault injection (all zero by default: the device stays perfect and
+	// every result is bit-identical to a build without the fault subsystem).
+	FaultSeed      int64
+	ReadErrRate    float64
+	ProgramErrRate float64
+	EraseErrRate   float64
+	// Metrics, when non-nil, collects fault/retry/retirement counters from
+	// every layer of the stack for the bench summary.
+	Metrics *metrics.Counter
 }
 
 // SmallScale is the default: ~1/500 of the paper's volume, seconds to run.
@@ -144,6 +156,9 @@ type Stack struct {
 	FS *kernelio.Filesystem
 	// Slim is non-nil for SlimIO stacks.
 	Slim *core.Backend
+	// Fault is the device fault plan, non-nil only when the scale requests
+	// fault injection (crash harnesses also use it to schedule power cuts).
+	Fault *fault.Plan
 }
 
 // BuildStack assembles the device and persistence backend for kind.
@@ -156,22 +171,36 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 	}
 	st := &Stack{Kind: kind, Eng: eng}
 
+	// Install the fault plan only when it can inject something: an absent
+	// hook is a strict no-op, keeping fault-free runs bit-identical.
+	plan := fault.NewPlan(fault.Config{
+		Seed:           sc.FaultSeed,
+		ReadErrRate:    sc.ReadErrRate,
+		ProgramErrRate: sc.ProgramErrRate,
+		EraseErrRate:   sc.EraseErrRate,
+		Metrics:        sc.Metrics,
+	})
+	st.Fault = plan
+	if plan.Active() {
+		arr.SetFaultHook(plan)
+	}
+
 	// The conventional baseline device is the same line-based FTL with a
 	// single placement stream (FEMU reclaims superblocks spanning all dies;
 	// that is what makes mixed lifetimes expensive).
 	newConv := func() (*ssd.Device, error) {
-		f, err := fdp.NewConventional(arr, fdp.Config{})
+		f, err := fdp.NewConventional(arr, fdp.Config{Metrics: sc.Metrics})
 		if err != nil {
 			return nil, err
 		}
-		return ssd.New(f, ssd.Config{}), nil
+		return ssd.New(f, ssd.Config{Metrics: sc.Metrics}), nil
 	}
 	newFDP := func() (*ssd.Device, error) {
-		f, err := fdp.New(arr, fdp.Config{})
+		f, err := fdp.New(arr, fdp.Config{Metrics: sc.Metrics})
 		if err != nil {
 			return nil, err
 		}
-		return ssd.New(f, ssd.Config{}), nil
+		return ssd.New(f, ssd.Config{Metrics: sc.Metrics}), nil
 	}
 	slotPages := sc.SlotBytes / int64(geo.PageSize)
 
@@ -238,6 +267,14 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 		return nil, fmt.Errorf("exp: unknown backend kind %d", kind)
 	}
 	return st, nil
+}
+
+// ArmPowerCut schedules a power cut at virtual time at: programs completing
+// after it tear. It installs the fault hook if BuildStack skipped it (a
+// power cut alone activates an otherwise-zero plan).
+func (st *Stack) ArmPowerCut(at sim.Time) {
+	st.Fault.SchedulePowerCut(at)
+	st.Dev.FTL().Array().SetFaultHook(st.Fault)
 }
 
 // filePID maps baseline file names to lifetime-class PIDs, mirroring

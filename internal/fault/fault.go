@@ -1,0 +1,169 @@
+// Package fault provides a deterministic, seed-driven fault plan for the
+// simulated device stack. A Plan implements nand.FaultHook and is installed
+// on a nand.Array, where it is consulted on every read, program, and erase:
+//
+//   - transient read failures with a per-operation probability (NVMe status
+//     0x281, Unrecovered Read Error — a retry may succeed),
+//   - permanent program failures with a per-operation probability (NVMe
+//     status 0x280, Write Fault — the FTL must retire the block),
+//   - erase failures (the block keeps its contents and must retire),
+//   - torn/partial page programs at power loss: once a power cut is
+//     scheduled at a virtual time T, every program whose completion falls
+//     after T stores a deterministically corrupted partial image instead of
+//     its payload,
+//   - scheduled power cuts at arbitrary virtual times, driven by the crash
+//     harness (the engine stops at T; the torn classification above makes
+//     the device contents at T physically honest).
+//
+// Determinism: the plan owns a local splitmix64 generator seeded from
+// Config.Seed — no math/rand global state, no wall clock. Since the
+// simulation itself is deterministic, the same seed over the same workload
+// yields the same fault schedule, byte for byte. With every rate at zero and
+// no power cut scheduled, the plan makes no decisions and consumes no
+// randomness, so attaching it leaves runs bit-identical to a perfect device.
+package fault
+
+import (
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Config parameterizes a fault plan. The zero value injects nothing.
+type Config struct {
+	// Seed drives the plan's private PRNG.
+	Seed int64
+	// ReadErrRate is the per-read probability of a transient read failure.
+	ReadErrRate float64
+	// ProgramErrRate is the per-program probability of a permanent failure.
+	ProgramErrRate float64
+	// EraseErrRate is the per-erase probability of an erase failure.
+	EraseErrRate float64
+	// Metrics, when non-nil, receives one counter increment per injected
+	// fault ("fault.read_err", "fault.program_err", "fault.erase_err",
+	// "fault.torn_program").
+	Metrics *metrics.Counter
+}
+
+// Stats counts the faults a plan actually injected.
+type Stats struct {
+	ReadErrors    int64
+	ProgramErrors int64
+	EraseErrors   int64
+	TornPrograms  int64
+}
+
+// Plan is one deterministic fault schedule. It satisfies nand.FaultHook.
+type Plan struct {
+	cfg      Config
+	rng      splitmix
+	cutAt    sim.Time
+	cutArmed bool
+	stats    Stats
+}
+
+var _ nand.FaultHook = (*Plan)(nil)
+
+// NewPlan builds a plan from cfg.
+func NewPlan(cfg Config) *Plan {
+	return &Plan{cfg: cfg, rng: splitmix{state: uint64(cfg.Seed)}}
+}
+
+// Active reports whether the plan can inject anything at all. BuildStack
+// skips installing an inactive plan so the hook stays nil (strict no-op).
+func (p *Plan) Active() bool {
+	return p.cfg.ReadErrRate > 0 || p.cfg.ProgramErrRate > 0 || p.cfg.EraseErrRate > 0 || p.cutArmed
+}
+
+// SchedulePowerCut arms a power cut at virtual time at: programs completing
+// after it become torn. The harness pairs this with eng.RunUntil(at) +
+// eng.Stop() so no process observes a completion past the cut.
+func (p *Plan) SchedulePowerCut(at sim.Time) {
+	p.cutAt = at
+	p.cutArmed = true
+}
+
+// PowerCut returns the scheduled cut time, if any.
+func (p *Plan) PowerCut() (sim.Time, bool) { return p.cutAt, p.cutArmed }
+
+// Stats returns the injected-fault counts.
+func (p *Plan) Stats() Stats { return p.stats }
+
+func (p *Plan) count(name string) {
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Inc(name, 1)
+	}
+}
+
+// ReadFault implements nand.FaultHook.
+func (p *Plan) ReadFault(now sim.Time, ppa nand.PPA) error {
+	if p.cfg.ReadErrRate > 0 && p.rng.float64() < p.cfg.ReadErrRate {
+		p.stats.ReadErrors++
+		p.count("fault.read_err")
+		return &nand.DeviceError{Status: nand.StatusUnrecoveredRead, Transient: true, Op: "read", PPA: ppa}
+	}
+	return nil
+}
+
+// ProgramFault implements nand.FaultHook. The power-cut check comes first: a
+// program still in flight when power dies is torn regardless of media health.
+func (p *Plan) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.ProgramDecision {
+	if p.cutArmed && done > p.cutAt {
+		p.stats.TornPrograms++
+		p.count("fault.torn_program")
+		return nand.ProgramDecision{Outcome: nand.ProgramTorn, Torn: p.tornImage(data)}
+	}
+	if p.cfg.ProgramErrRate > 0 && p.rng.float64() < p.cfg.ProgramErrRate {
+		p.stats.ProgramErrors++
+		p.count("fault.program_err")
+		return nand.ProgramDecision{Outcome: nand.ProgramFail}
+	}
+	return nand.ProgramDecision{}
+}
+
+// EraseFault implements nand.FaultHook.
+func (p *Plan) EraseFault(now sim.Time, die, block int) error {
+	if p.cfg.EraseErrRate > 0 && p.rng.float64() < p.cfg.EraseErrRate {
+		p.stats.EraseErrors++
+		p.count("fault.erase_err")
+		return &nand.DeviceError{Status: nand.StatusEraseFault, Op: "erase", PPA: nand.InvalidPPA}
+	}
+	return nil
+}
+
+// tornImage builds the partial program image of a torn page: a prefix of the
+// intended payload survives, the rest is non-zero garbage (so WAL decoding
+// can distinguish it from a clean unwritten tail).
+func (p *Plan) tornImage(data []byte) []byte {
+	out := make([]byte, len(data))
+	if len(data) == 0 {
+		return out
+	}
+	keep := int(p.rng.next() % uint64(len(data)+1))
+	copy(out, data[:keep])
+	for i := keep; i < len(out); i++ {
+		b := byte(p.rng.next())
+		if b == 0 {
+			b = 0xA5
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// splitmix is splitmix64 (Steele et al.): tiny, fast, and sequential-seed
+// friendly, which matters because crash-harness seeds are 0,1,2,...
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0,1).
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}

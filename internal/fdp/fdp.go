@@ -18,8 +18,14 @@ import (
 	"fmt"
 
 	"github.com/slimio/slimio/internal/ftl"
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
+)
+
+const (
+	maxProgramRetries = 4
+	maxReadRetries    = 4
 )
 
 // Stats extends the conventional FTL counters with RU-level reclaim info.
@@ -59,6 +65,10 @@ type Config struct {
 	ReclaimFreeRUsLow int
 	// EventLogLimit bounds the retained reclaim log (default 4096).
 	EventLogLimit int
+	// Metrics, when non-nil, receives counter increments for fault-handling
+	// events (fdp.program_fail, fdp.block_retired, fdp.gc_read_retry,
+	// fdp.lpa_lost, fdp.erase_fail, fdp.torn_write).
+	Metrics *metrics.Counter
 }
 
 func (c *Config) fillDefaults(geo nand.Geometry) {
@@ -87,6 +97,9 @@ const (
 	ruFree ruState = iota
 	ruOpen
 	ruClosed
+	// ruDead marks a reclaim unit whose every block has been retired; it
+	// leaves the free/open/closed rotation permanently.
+	ruDead
 )
 
 type reclaimUnit struct {
@@ -101,6 +114,9 @@ type reclaimUnit struct {
 	// closedSeq orders closed RUs by age, so reclaim's tie-break rotates
 	// through the pool instead of thrashing a few units (wear leveling).
 	closedSeq int64
+	// retiredCnt counts this RU's blocks that have been retired (grown bad
+	// blocks). The RU keeps working around them until all are gone.
+	retiredCnt int
 }
 
 func (ru *reclaimUnit) pages(perBlock int) int { return len(ru.blocks) * perBlock }
@@ -119,6 +135,12 @@ type FTL struct {
 	freeRUs  []int
 	active   map[uint32]*reclaimUnit // PID -> open RU
 	closeSeq int64
+
+	// retired flags globally-indexed blocks taken out of service after a
+	// program or erase failure; pending queues LPAs stranded on them for
+	// migration at the end of the current host write.
+	retired []bool
+	pending []int64
 
 	stats     Stats
 	log       []ReclaimEvent
@@ -154,6 +176,7 @@ func New(arr *nand.Array, cfg Config) (*FTL, error) {
 		l2p:        make([]nand.PPA, geo.Pages()),
 		p2l:        make([]int64, geo.Pages()),
 		ruOf:       make([]int32, geo.Blocks()),
+		retired:    make([]bool, geo.Blocks()),
 		active:     make(map[uint32]*reclaimUnit),
 		pageSz:     geo.PageSize,
 	}
@@ -231,11 +254,31 @@ type RUUsage struct {
 func (f *FTL) Usage() []RUUsage {
 	perBlock := f.arr.Geometry().PagesPerBlock
 	out := make([]RUUsage, len(f.rus))
-	names := map[ruState]string{ruFree: "free", ruOpen: "open", ruClosed: "closed"}
+	names := map[ruState]string{ruFree: "free", ruOpen: "open", ruClosed: "closed", ruDead: "dead"}
 	for i, ru := range f.rus {
 		out[i] = RUUsage{ID: ru.id, State: names[ru.state], PID: ru.pid, Valid: ru.valid, Total: ru.pages(perBlock)}
 	}
 	return out
+}
+
+// RetiredBlocks reports how many physical blocks have been retired.
+func (f *FTL) RetiredBlocks() int {
+	n := 0
+	for _, r := range f.retired {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockRetired reports whether global block index g is retired.
+func (f *FTL) BlockRetired(g int) bool { return f.retired[g] }
+
+func (f *FTL) inc(name string) {
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Inc(name, 1)
+	}
 }
 
 func (f *FTL) checkLPA(lpa int64) error {
@@ -256,13 +299,189 @@ func (f *FTL) invalidate(lpa int64) {
 }
 
 // nextPPA returns the next physical page of an open RU, striping across its
-// blocks so consecutive pages land on different dies.
+// blocks so consecutive pages land on different dies. Retired blocks are
+// skipped; an RU with every block retired (which openRU never hands out)
+// yields InvalidPPA.
 func (f *FTL) nextPPA(ru *reclaimUnit) nand.PPA {
-	b := ru.blocks[ru.writeCursor%len(ru.blocks)]
-	ru.writeCursor++
-	// The in-block page index equals the block's own program pointer by
-	// construction, since pages rotate over the RU's blocks in fixed order.
-	return f.arr.PPAOf(b.die, b.block, f.arr.NextProgramPage(b.die, b.block))
+	geo := f.arr.Geometry()
+	for i := 0; i < len(ru.blocks); i++ {
+		b := ru.blocks[ru.writeCursor%len(ru.blocks)]
+		ru.writeCursor++
+		if f.retired[b.die*geo.BlocksPerDie+b.block] {
+			continue
+		}
+		if f.arr.NextProgramPage(b.die, b.block) >= geo.PagesPerBlock {
+			continue // block filled unevenly after a mid-RU retirement
+		}
+		// The in-block page index equals the block's own program pointer by
+		// construction, since pages rotate over the RU's blocks in fixed
+		// order (retired blocks simply drop out of the rotation).
+		return f.arr.PPAOf(b.die, b.block, f.arr.NextProgramPage(b.die, b.block))
+	}
+	return nand.InvalidPPA
+}
+
+// ruFullAfter reports whether the RU has no programmable page left after
+// handing one out at ppa. With no retired blocks the write cursor is an exact
+// count and the check is O(1); once blocks retire, remaining capacity is the
+// sum of each healthy block's unprogrammed pages (minus the page just handed
+// out, which the array has not seen yet).
+func (f *FTL) ruFullAfter(ru *reclaimUnit, ppa nand.PPA) bool {
+	geo := f.arr.Geometry()
+	if ru.retiredCnt == 0 {
+		return ru.writeCursor >= ru.pages(geo.PagesPerBlock)
+	}
+	remaining := 0
+	for _, b := range ru.blocks {
+		if f.retired[b.die*geo.BlocksPerDie+b.block] {
+			continue
+		}
+		remaining += geo.PagesPerBlock - f.arr.NextProgramPage(b.die, b.block)
+	}
+	return remaining-1 <= 0
+}
+
+// retireBlock takes a global block out of service. LPAs still mapped onto it
+// are queued for migration (drained at the end of the host write); if the
+// owning reclaim unit loses its last healthy block it goes dead and leaves
+// the rotation entirely.
+func (f *FTL) retireBlock(g int) {
+	if f.retired[g] {
+		return
+	}
+	f.retired[g] = true
+	f.stats.RetiredBlocks++
+	f.inc("fdp.block_retired")
+	geo := f.arr.Geometry()
+	die, blk := g/geo.BlocksPerDie, g%geo.BlocksPerDie
+	base := f.arr.PPAOf(die, blk, 0)
+	for p := 0; p < geo.PagesPerBlock; p++ {
+		if lpa := f.p2l[base+nand.PPA(p)]; lpa >= 0 {
+			f.pending = append(f.pending, lpa)
+		}
+	}
+	ru := f.rus[f.ruOf[g]]
+	ru.retiredCnt++
+	if ru.retiredCnt < len(ru.blocks) {
+		return
+	}
+	switch ru.state {
+	case ruFree:
+		for i, id := range f.freeRUs {
+			if id == ru.id {
+				f.freeRUs = append(f.freeRUs[:i], f.freeRUs[i+1:]...)
+				break
+			}
+		}
+	case ruOpen:
+		if f.active[ru.pid] == ru {
+			delete(f.active, ru.pid)
+		}
+	}
+	ru.state = ruDead
+}
+
+func (f *FTL) noteProgramFail(ppa nand.PPA) {
+	f.stats.ProgramFailures++
+	f.inc("fdp.program_fail")
+	f.retireBlock(f.arr.BlockOf(ppa))
+}
+
+// readWithRetry reads src, re-reading up to maxReadRetries times on
+// transient failures. ok=false means the page is unrecoverable; a non-nil
+// err is a model bug.
+func (f *FTL) readWithRetry(now sim.Time, src nand.PPA) (data []byte, done sim.Time, ok bool, err error) {
+	for attempt := 0; attempt <= maxReadRetries; attempt++ {
+		data, done, err = f.arr.Read(now, src)
+		if err == nil {
+			return data, done, true, nil
+		}
+		if !nand.IsTransient(err) {
+			return nil, now, false, err
+		}
+		f.stats.GCReadRetries++
+		f.inc("fdp.gc_read_retry")
+		now = done
+	}
+	return nil, now, false, nil
+}
+
+// migrateProgram places and programs data into pid's stream, retiring bad
+// destination blocks and retrying on program failure.
+func (f *FTL) migrateProgram(now sim.Time, pid uint32, data []byte) (nand.PPA, sim.Time, error) {
+	for attempt := 0; attempt <= maxProgramRetries; attempt++ {
+		dst, ready, err := f.placePage(now, pid)
+		if err != nil {
+			return nand.InvalidPPA, now, err
+		}
+		done, err := f.arr.Program(ready, dst, data)
+		if err == nil {
+			return dst, done, nil
+		}
+		if !nand.IsProgramFail(err) {
+			return nand.InvalidPPA, now, err
+		}
+		f.noteProgramFail(dst)
+	}
+	return nand.InvalidPPA, now, fmt.Errorf("fdp: migration exhausted %d program attempts", maxProgramRetries+1)
+}
+
+// drainRetired migrates every LPA stranded on a retired block into its
+// stream's open RU. See the ftl package for the termination argument.
+func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
+	guard, limit := 0, 16*int(f.arr.Geometry().Pages())
+	for len(f.pending) > 0 {
+		if guard++; guard > limit {
+			return now, fmt.Errorf("fdp: retirement migration made no progress after %d steps", guard)
+		}
+		lpa := f.pending[0]
+		f.pending = f.pending[1:]
+		src := f.l2p[lpa]
+		if src == nand.InvalidPPA || !f.retired[f.arr.BlockOf(src)] {
+			continue // invalidated or already moved since queued
+		}
+		data, rdone, ok, err := f.readWithRetry(now, src)
+		if err != nil {
+			return now, err
+		}
+		if !ok {
+			f.invalidate(lpa)
+			f.stats.LostPages++
+			f.inc("fdp.lpa_lost")
+			continue
+		}
+		pid := f.rus[f.ruOf[f.arr.BlockOf(src)]].pid
+		dst, wdone, err := f.migrateProgram(rdone, pid, data)
+		if err != nil {
+			return now, err
+		}
+		f.p2l[src] = -1
+		f.rus[f.ruOf[f.arr.BlockOf(src)]].valid--
+		f.l2p[lpa] = dst
+		f.p2l[dst] = lpa
+		f.rus[f.ruOf[f.arr.BlockOf(dst)]].valid++
+		f.stats.NANDWritePages++
+		f.stats.RetireMigratedPages++
+		if wdone > now {
+			now = wdone
+		}
+	}
+	return now, nil
+}
+
+// commitTorn decides what a torn program leaves visible after power loss:
+// a previously-mapped LPA rolls back to its old page (power-up L2P
+// reconstruction only trusts fully programmed pages), a previously-unmapped
+// LPA maps to the torn page so the layers above must catch the corruption.
+func (f *FTL) commitTorn(lpa int64, ppa nand.PPA) {
+	f.stats.TornWrites++
+	f.inc("fdp.torn_write")
+	if f.l2p[lpa] != nand.InvalidPPA {
+		return
+	}
+	f.l2p[lpa] = ppa
+	f.p2l[ppa] = lpa
+	f.rus[f.ruOf[f.arr.BlockOf(ppa)]].valid++
 }
 
 // openRU returns the active RU for pid, drawing (and if necessary
@@ -357,15 +576,19 @@ func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
 				if lpa < 0 {
 					continue
 				}
-				data, rdone, err := f.arr.Read(now, src)
+				data, rdone, ok, err := f.readWithRetry(now, src)
 				if err != nil {
 					return now, false, fmt.Errorf("fdp: reclaim read: %w", err)
 				}
-				dst, _, err := f.placePage(rdone, victim.pid)
-				if err != nil {
-					return now, false, fmt.Errorf("fdp: reclaim place: %w", err)
+				if !ok {
+					// Unrecoverable media error under a single page: drop
+					// that LPA, keep the reclaim going.
+					f.invalidate(lpa)
+					f.stats.LostPages++
+					f.inc("fdp.lpa_lost")
+					continue
 				}
-				wdone, err := f.arr.Program(rdone, dst, data)
+				dst, wdone, err := f.migrateProgram(rdone, victim.pid, data)
 				if err != nil {
 					return now, false, fmt.Errorf("fdp: reclaim program: %w", err)
 				}
@@ -384,22 +607,40 @@ func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
 		}
 	}
 	// The victim's blocks live on distinct dies, so their erases proceed in
-	// parallel: book them all at the same base time.
+	// parallel: book them all at the same base time. Retired blocks are never
+	// erased; an erase failure retires the block instead of failing the
+	// reclaim (its pages hold no valid data by now).
 	eraseStart := end
+	geo := f.arr.Geometry()
 	for _, b := range victim.blocks {
+		g := b.die*geo.BlocksPerDie + b.block
+		if f.retired[g] {
+			continue
+		}
 		edone, err := f.arr.Erase(eraseStart, b.die, b.block)
 		if err != nil {
-			return now, false, fmt.Errorf("fdp: reclaim erase: %w", err)
+			if !nand.IsEraseFault(err) {
+				return now, false, fmt.Errorf("fdp: reclaim erase: %w", err)
+			}
+			f.stats.EraseFailures++
+			f.inc("fdp.erase_fail")
+			f.retireBlock(g)
+			if edone > end {
+				end = edone
+			}
+			continue
 		}
 		if edone > end {
 			end = edone
 		}
 		f.stats.GCErasedBlocks++
 	}
-	victim.state = ruFree
 	victim.valid = 0
 	victim.writeCursor = 0
-	f.freeRUs = append(f.freeRUs, victim.id)
+	if victim.retiredCnt < len(victim.blocks) {
+		victim.state = ruFree
+		f.freeRUs = append(f.freeRUs, victim.id)
+	}
 
 	f.stats.GCRuns++
 	f.stats.RUsReclaimed++
@@ -413,24 +654,45 @@ func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
 	return end, true, nil
 }
 
+func (f *FTL) closeRU(ru *reclaimUnit, pid uint32) {
+	ru.state = ruClosed
+	f.closeSeq++
+	ru.closedSeq = f.closeSeq
+	delete(f.active, pid)
+}
+
 // placePage hands out the next physical page for pid's stream, rotating the
-// open RU when it fills.
+// open RU when it fills (or when retirements leave it nothing programmable).
 func (f *FTL) placePage(now sim.Time, pid uint32) (nand.PPA, sim.Time, error) {
-	ru, done, err := f.openRU(now, pid)
-	if err != nil {
-		return nand.InvalidPPA, now, err
+	done := now
+	for attempt := 0; attempt < 4; attempt++ {
+		ru, d, err := f.openRU(done, pid)
+		if err != nil {
+			return nand.InvalidPPA, now, err
+		}
+		done = d
+		ppa := f.nextPPA(ru)
+		if ppa == nand.InvalidPPA {
+			// Every remaining block was retired out from under the RU;
+			// close it (reclaim will still erase its healthy blocks) and
+			// open a fresh one.
+			f.closeRU(ru, pid)
+			continue
+		}
+		if f.ruFullAfter(ru, ppa) {
+			f.closeRU(ru, pid)
+		}
+		return ppa, done, nil
 	}
-	ppa := f.nextPPA(ru)
-	if ru.writeCursor >= ru.pages(f.arr.Geometry().PagesPerBlock) {
-		ru.state = ruClosed
-		f.closeSeq++
-		ru.closedSeq = f.closeSeq
-		delete(f.active, pid)
-	}
-	return ppa, done, nil
+	return nand.InvalidPPA, now, fmt.Errorf("fdp: no programmable reclaim unit for pid %d", pid)
 }
 
 // Write stores one page at lpa within the placement stream pid.
+//
+// A NAND program failure is absorbed: the destination block retires, its
+// stranded valid pages migrate, and the write retries on a fresh page. A
+// torn program (power cut mid-write) returns the device error after
+// recording honest post-crash mapping state — see commitTorn.
 func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
 	if err := f.checkLPA(lpa); err != nil {
 		return now, err
@@ -438,21 +700,43 @@ func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.
 	if int(pid) >= f.cfg.MaxPIDs {
 		return now, fmt.Errorf("fdp: PID %d exceeds device limit %d", pid, f.cfg.MaxPIDs)
 	}
-	ppa, ready, err := f.placePage(now, pid)
-	if err != nil {
-		return now, err
+	var ppa nand.PPA
+	for attempt := 0; ; attempt++ {
+		var ready sim.Time
+		ppa, ready, err = f.placePage(now, pid)
+		if err != nil {
+			return now, err
+		}
+		done, err = f.arr.Program(ready, ppa, data)
+		if err == nil {
+			break
+		}
+		if nand.IsTornWrite(err) {
+			f.commitTorn(lpa, ppa)
+			return done, err
+		}
+		if !nand.IsProgramFail(err) || attempt >= maxProgramRetries {
+			return now, err
+		}
+		f.noteProgramFail(ppa)
+		if now, err = f.drainRetired(done); err != nil {
+			return now, err
+		}
 	}
 	f.invalidate(lpa)
-	done, err = f.arr.Program(ready, ppa, data)
-	if err != nil {
-		return now, err
-	}
 	f.l2p[lpa] = ppa
 	f.p2l[ppa] = lpa
 	f.rus[f.ruOf[f.arr.BlockOf(ppa)]].valid++
 	f.stats.HostWritePages++
 	f.stats.NANDWritePages++
 	f.stats.HostWritesByPID[pid]++
+	if len(f.pending) > 0 {
+		// Retirements during placement/GC queued stranded LPAs; migrate
+		// them now so no mapping survives on retired media.
+		if _, err := f.drainRetired(done); err != nil {
+			return now, err
+		}
+	}
 	return done, nil
 }
 

@@ -1,0 +1,170 @@
+package ftl
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/slimio/slimio/internal/fault"
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// TestGCFaultSweep drives a GC-heavy overwrite workload under swept read and
+// program error rates and checks the retirement invariants the FTL promises:
+// no live LPA ever maps into a retired block, the write accounting identity
+// holds, the free pool never goes negative, and every surviving LPA reads
+// back its newest value once the faults clear.
+func TestGCFaultSweep(t *testing.T) {
+	rates := []struct {
+		name             string
+		readErr, progErr float64
+	}{
+		{"reads-3pct", 0.03, 0},
+		{"programs", 0, 0.003},
+		{"mixed", 0.02, 0.003},
+	}
+	for _, rate := range rates {
+		t.Run(rate.name, func(t *testing.T) {
+			ctr := &metrics.Counter{}
+			// Every program failure retires a whole block, so the rate must
+			// stay small against the block budget or the device honestly dies.
+			geo := nand.Geometry{Channels: 2, DiesPerChannel: 2, BlocksPerDie: 32, PagesPerBlock: 8, PageSize: 128}
+			arr, err := nand.New(geo, nand.DefaultLatencies())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := New(arr, Config{Metrics: ctr})
+			plan := fault.NewPlan(fault.Config{Seed: 1234, ReadErrRate: rate.readErr, ProgramErrRate: rate.progErr})
+			arr.SetFaultHook(plan)
+
+			// Overwrite a small LPA window far past capacity to force steady
+			// GC while faults land in host writes, GC copies, and migrations.
+			lpas := f.Capacity() / 3
+			latest := make(map[int64]int)
+			now := sim.Time(0)
+			for i := 0; i < int(3*f.Capacity()); i++ {
+				lpa := int64(i) % lpas
+				done, err := f.Write(now, lpa, page(fmt.Sprintf("v%d-", i), f.PageSize()), 0)
+				if err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				latest[lpa] = i
+				now = done
+				if f.FreeBlocks() < 0 {
+					t.Fatalf("free-block count went negative after write %d", i)
+				}
+			}
+			arr.SetFaultHook(nil)
+
+			s := f.Stats()
+			if rate.progErr > 0 && s.ProgramFailures == 0 {
+				t.Fatal("program error rate injected nothing")
+			}
+			if s.NANDWritePages != s.HostWritePages+s.GCCopiedPages+s.RetireMigratedPages {
+				t.Fatalf("write accounting broken: NAND %d != host %d + GC %d + migrated %d",
+					s.NANDWritePages, s.HostWritePages, s.GCCopiedPages, s.RetireMigratedPages)
+			}
+			if s.RetiredBlocks != int64(f.RetiredBlocks()) {
+				t.Fatalf("stats say %d retired blocks, map says %d", s.RetiredBlocks, f.RetiredBlocks())
+			}
+			if got := ctr.Get("ftl.block_retired"); got != s.RetiredBlocks {
+				t.Fatalf("metrics counted %d retirements, stats %d", got, s.RetiredBlocks)
+			}
+
+			// No live mapping may point into a retired block, and every
+			// surviving LPA must hold its newest acknowledged value.
+			lost := 0
+			for lpa := int64(0); lpa < lpas; lpa++ {
+				ppa := f.l2p[lpa]
+				if ppa == nand.InvalidPPA {
+					lost++
+					continue
+				}
+				if f.BlockRetired(arr.BlockOf(ppa)) {
+					t.Fatalf("LPA %d maps to retired block %d", lpa, arr.BlockOf(ppa))
+				}
+				data, done, err := f.Read(now, lpa)
+				if err != nil {
+					t.Fatalf("read LPA %d after faults cleared: %v", lpa, err)
+				}
+				want := page(fmt.Sprintf("v%d-", latest[lpa]), f.PageSize())
+				if !bytes.Equal(data, want) {
+					t.Fatalf("LPA %d holds stale or corrupt data", lpa)
+				}
+				now = done
+			}
+			// LPAs may only vanish via unrecoverable reads, and each one is
+			// accounted as lost.
+			if int64(lost) > s.LostPages {
+				t.Fatalf("%d LPAs unmapped but only %d recorded lost", lost, s.LostPages)
+			}
+		})
+	}
+}
+
+// TestGCProgramFailureRetires pins the precise GC scenario: a program
+// failure during a migration retires the destination block, the victim's
+// valid data stays readable at its new home, and the failure is counted.
+func TestGCProgramFailureRetires(t *testing.T) {
+	geo := nand.Geometry{Channels: 2, DiesPerChannel: 2, BlocksPerDie: 32, PagesPerBlock: 8, PageSize: 128}
+	arr, err := nand.New(geo, nand.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &metrics.Counter{}
+	f := New(arr, Config{Metrics: ctr})
+	// Every 150th program fails: host writes, GC copies, and retirement
+	// migrations all take hits while the workload forces constant GC.
+	nth := &nthProgramFailHook{n: 150}
+	arr.SetFaultHook(nth)
+	latest := make(map[int64]int)
+	now := sim.Time(0)
+	for i := 0; i < int(3*f.Capacity()); i++ {
+		lpa := int64(i) % (f.Capacity() / 4)
+		done, err := f.Write(now, lpa, page(fmt.Sprintf("g%d-", i), f.PageSize()), 0)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		latest[lpa] = i
+		now = done
+	}
+	arr.SetFaultHook(nil)
+	s := f.Stats()
+	if s.ProgramFailures == 0 || s.RetiredBlocks == 0 {
+		t.Fatalf("hook injected nothing: %+v", s)
+	}
+	if s.GCRuns == 0 {
+		t.Fatal("workload never triggered GC")
+	}
+	if ctr.Get("ftl.program_fail") != s.ProgramFailures {
+		t.Fatalf("metrics counted %d program failures, stats %d", ctr.Get("ftl.program_fail"), s.ProgramFailures)
+	}
+	for lpa, v := range latest {
+		data, done, err := f.Read(now, lpa)
+		if err != nil {
+			t.Fatalf("read LPA %d: %v", lpa, err)
+		}
+		if !bytes.Equal(data, page(fmt.Sprintf("g%d-", v), f.PageSize())) {
+			t.Fatalf("LPA %d lost its newest value across GC program failures", lpa)
+		}
+		now = done
+	}
+}
+
+// nthProgramFailHook fails every n-th page program, deterministically.
+type nthProgramFailHook struct {
+	n     int
+	count int
+}
+
+func (h *nthProgramFailHook) ReadFault(now sim.Time, ppa nand.PPA) error { return nil }
+func (h *nthProgramFailHook) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.ProgramDecision {
+	h.count++
+	if h.count%h.n == 0 {
+		return nand.ProgramDecision{Outcome: nand.ProgramFail}
+	}
+	return nand.ProgramDecision{}
+}
+func (h *nthProgramFailHook) EraseFault(now sim.Time, die, block int) error { return nil }

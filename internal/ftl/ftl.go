@@ -14,12 +14,24 @@ package ftl
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 )
 
+// maxProgramRetries bounds how many fresh pages a single logical write tries
+// after program failures before the FTL gives up (each failure also retires
+// a block, so the loop cannot spin on the same media).
+const maxProgramRetries = 4
+
+// maxReadRetries bounds in-FTL re-reads of a transiently failing page during
+// GC and retirement migration.
+const maxReadRetries = 4
+
 // Stats aggregates host-visible FTL counters. WAF is NAND page programs per
 // host page write; 1.00 means the device never rewrote data internally.
+// NANDWritePages = HostWritePages + GCCopiedPages + RetireMigratedPages
+// always holds (torn writes are counted separately and excluded).
 type Stats struct {
 	HostWritePages int64 // page programs requested by the host
 	HostReadPages  int64
@@ -28,6 +40,15 @@ type Stats struct {
 	GCErasedBlocks int64
 	GCRuns         int64
 	GCBusy         sim.Duration // die time consumed by GC reads/programs/erases
+
+	// Fault-handling counters; all stay zero on a perfect device.
+	ProgramFailures     int64 // NAND program failures survived by remapping
+	RetiredBlocks       int64 // blocks taken out of service
+	RetireMigratedPages int64 // valid pages moved off retired blocks
+	GCReadRetries       int64 // re-reads of transiently failing pages
+	LostPages           int64 // LPAs dropped after unrecoverable reads
+	EraseFailures       int64 // erases that failed (block retired instead)
+	TornWrites          int64 // programs interrupted by power loss
 }
 
 // WAF reports the write amplification factor (1.0 when no host writes yet).
@@ -57,6 +78,10 @@ type Config struct {
 	GCFreeBlocksLow int
 	// GCEventLogLimit bounds the retained GC event log (default 4096).
 	GCEventLogLimit int
+	// Metrics, when non-nil, receives fault/retirement event counters
+	// ("ftl.program_fail", "ftl.block_retired", "ftl.gc_read_retry",
+	// "ftl.lpa_lost", "ftl.erase_fail", "ftl.torn_write").
+	Metrics *metrics.Counter
 }
 
 func (c *Config) fillDefaults() {
@@ -93,6 +118,9 @@ type FTL struct {
 	dies       []dieState
 	nextDie    int // round-robin write striping across dies
 
+	retired []bool  // global block index -> permanently out of service
+	pending []int64 // LPAs awaiting migration off retired blocks
+
 	stats  Stats
 	gcLog  []GCEvent
 	inGC   bool
@@ -122,6 +150,7 @@ func New(arr *nand.Array, cfg Config) *FTL {
 		p2l:        make([]int64, geo.Pages()),
 		blocks:     make([]blockMeta, geo.Blocks()),
 		dies:       make([]dieState, geo.Dies()),
+		retired:    make([]bool, geo.Blocks()),
 		pageSz:     geo.PageSize,
 	}
 	for i := range f.l2p {
@@ -159,6 +188,26 @@ func (f *FTL) FreeBlocks() int {
 		n += len(f.dies[d].free)
 	}
 	return n
+}
+
+// RetiredBlocks reports the number of blocks taken out of service.
+func (f *FTL) RetiredBlocks() int {
+	n := 0
+	for _, r := range f.retired {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockRetired reports whether a global block index is out of service.
+func (f *FTL) BlockRetired(g int) bool { return g >= 0 && g < len(f.retired) && f.retired[g] }
+
+func (f *FTL) inc(name string) {
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Inc(name, 1)
+	}
 }
 
 func (f *FTL) checkLPA(lpa int64) error {
@@ -255,7 +304,7 @@ func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
 		isFree[b] = true
 	}
 	for b := 0; b < geo.BlocksPerDie; b++ {
-		if b == ds.active || isFree[b] {
+		if b == ds.active || isFree[b] || f.retired[die*geo.BlocksPerDie+b] {
 			continue
 		}
 		if f.arr.NextProgramPage(die, b) < geo.PagesPerBlock {
@@ -278,17 +327,22 @@ func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
 		if lpa < 0 {
 			continue
 		}
-		data, rdone, err := f.arr.Read(now, src)
+		data, rdone, ok, err := f.readWithRetry(now, src)
 		if err != nil {
 			return now, false, fmt.Errorf("ftl: GC read: %w", err)
 		}
-		// Migrate within this die: pull the destination from the die's own
-		// write front (allocating a fresh block if needed).
-		dst, err := f.allocPageOnDie(die)
-		if err != nil {
-			return now, false, fmt.Errorf("ftl: GC alloc: %w", err)
+		if !ok {
+			// Unrecoverable read: fail this single LPA rather than abort
+			// the whole reclaim — the rest of the victim is still movable.
+			f.invalidate(lpa)
+			f.stats.LostPages++
+			f.inc("ftl.lpa_lost")
+			continue
 		}
-		wdone, err := f.arr.Program(rdone, dst, data)
+		// Migrate within this die: pull the destination from the die's own
+		// write front (allocating a fresh block if needed); program
+		// failures retire the destination block and retry elsewhere.
+		dst, wdone, err := f.migrateProgram(rdone, die, data)
 		if err != nil {
 			return now, false, fmt.Errorf("ftl: GC program: %w", err)
 		}
@@ -307,7 +361,18 @@ func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
 	}
 	edone, err := f.arr.Erase(end, die, victim)
 	if err != nil {
-		return now, false, fmt.Errorf("ftl: GC erase: %w", err)
+		if !nand.IsEraseFault(err) {
+			return now, false, fmt.Errorf("ftl: GC erase: %w", err)
+		}
+		// Worn-out block: retire it instead of returning it to the free
+		// list. No space was reclaimed, but the victim was processed, so
+		// the caller's emergency loop moves on to the next candidate.
+		f.stats.EraseFailures++
+		f.inc("ftl.erase_fail")
+		f.retireBlock(die*geo.BlocksPerDie + victim)
+		f.stats.GCRuns++
+		f.stats.GCBusy += edone.Sub(gcStart)
+		return edone, true, nil
 	}
 	ds.free = append(ds.free, victim)
 
@@ -341,28 +406,206 @@ func (f *FTL) allocPageOnDie(die int) (nand.PPA, error) {
 	return ppa, nil
 }
 
+// readWithRetry reads src, re-reading up to maxReadRetries times on
+// transient failures. ok=false means the page is unrecoverable (retries
+// exhausted); a non-nil err is a model bug (unwritten page, bad PPA).
+func (f *FTL) readWithRetry(now sim.Time, src nand.PPA) (data []byte, done sim.Time, ok bool, err error) {
+	for attempt := 0; attempt <= maxReadRetries; attempt++ {
+		data, done, err = f.arr.Read(now, src)
+		if err == nil {
+			return data, done, true, nil
+		}
+		if !nand.IsTransient(err) {
+			return nil, now, false, err
+		}
+		f.stats.GCReadRetries++
+		f.inc("ftl.gc_read_retry")
+		now = done // the failed read still took die time; retry after it
+	}
+	return nil, now, false, nil
+}
+
+// retireBlock takes a global block out of service: it leaves every free
+// list, stops being a write front or GC victim, and its still-valid LPAs are
+// queued for migration (drained by drainRetired at the end of the host op).
+func (f *FTL) retireBlock(g int) {
+	if f.retired[g] {
+		return
+	}
+	f.retired[g] = true
+	f.stats.RetiredBlocks++
+	f.inc("ftl.block_retired")
+	geo := f.arr.Geometry()
+	die, blk := g/geo.BlocksPerDie, g%geo.BlocksPerDie
+	ds := &f.dies[die]
+	if ds.active == blk {
+		ds.active = -1
+	}
+	for i, b := range ds.free {
+		if b == blk {
+			ds.free = append(ds.free[:i], ds.free[i+1:]...)
+			break
+		}
+	}
+	base := f.arr.PPAOf(die, blk, 0)
+	for p := 0; p < geo.PagesPerBlock; p++ {
+		if lpa := f.p2l[base+nand.PPA(p)]; lpa >= 0 {
+			f.pending = append(f.pending, lpa)
+		}
+	}
+}
+
+func (f *FTL) noteProgramFail(ppa nand.PPA) {
+	f.stats.ProgramFailures++
+	f.inc("ftl.program_fail")
+	f.retireBlock(f.arr.BlockOf(ppa))
+}
+
+// allocMigrate hands out a migration destination, preferring prefDie and
+// falling back to any die with room (a die can run dry when retirements eat
+// its blocks).
+func (f *FTL) allocMigrate(prefDie int) (nand.PPA, error) {
+	for i := 0; i < len(f.dies); i++ {
+		die := (prefDie + i) % len(f.dies)
+		if ppa, err := f.allocPageOnDie(die); err == nil {
+			return ppa, nil
+		}
+	}
+	return nand.InvalidPPA, fmt.Errorf("ftl: no destination block for migration (device out of healthy blocks)")
+}
+
+// migrateProgram programs data onto a fresh page, retiring the destination
+// block and retrying elsewhere on program failure.
+func (f *FTL) migrateProgram(now sim.Time, prefDie int, data []byte) (nand.PPA, sim.Time, error) {
+	for attempt := 0; attempt <= maxProgramRetries; attempt++ {
+		dst, err := f.allocMigrate(prefDie)
+		if err != nil {
+			return nand.InvalidPPA, now, err
+		}
+		done, err := f.arr.Program(now, dst, data)
+		if err == nil {
+			return dst, done, nil
+		}
+		if !nand.IsProgramFail(err) {
+			return nand.InvalidPPA, now, err
+		}
+		f.noteProgramFail(dst)
+	}
+	return nand.InvalidPPA, now, fmt.Errorf("ftl: migration exhausted %d program attempts", maxProgramRetries+1)
+}
+
+// drainRetired migrates every LPA stranded on a retired block to healthy
+// media. Migration program failures retire further blocks and re-queue; the
+// loop terminates because retirements are bounded by the block count (the
+// guard catches modelling bugs). Unrecoverable source reads drop the single
+// LPA and are counted as LostPages.
+func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
+	guard, limit := 0, 16*int(f.arr.Geometry().Pages())
+	for len(f.pending) > 0 {
+		if guard++; guard > limit {
+			return now, fmt.Errorf("ftl: retirement migration made no progress after %d steps", guard)
+		}
+		lpa := f.pending[0]
+		f.pending = f.pending[1:]
+		src := f.l2p[lpa]
+		if src == nand.InvalidPPA || !f.retired[f.arr.BlockOf(src)] {
+			continue // invalidated or already moved since queued
+		}
+		data, rdone, ok, err := f.readWithRetry(now, src)
+		if err != nil {
+			return now, err
+		}
+		if !ok {
+			f.invalidate(lpa)
+			f.stats.LostPages++
+			f.inc("ftl.lpa_lost")
+			continue
+		}
+		dst, wdone, err := f.migrateProgram(rdone, f.arr.DieOf(src), data)
+		if err != nil {
+			return now, err
+		}
+		f.p2l[src] = -1
+		f.blocks[f.arr.BlockOf(src)].valid--
+		f.l2p[lpa] = dst
+		f.p2l[dst] = lpa
+		f.blocks[f.arr.BlockOf(dst)].valid++
+		f.stats.NANDWritePages++
+		f.stats.RetireMigratedPages++
+		if wdone > now {
+			now = wdone
+		}
+	}
+	return now, nil
+}
+
+// commitTorn decides what a torn program leaves visible after power loss.
+// If lpa already had data, the L2P update rolls back — the FTL's mapping
+// tables die with power, and power-up reconstruction only maps fully
+// programmed pages, so the old image survives (this is what makes in-place
+// tail rewrites crash-safe). A previously-unmapped lpa maps to the torn
+// page: a partial program can pass the power-up OOB scan, and the CRC
+// framing above is what must catch it.
+func (f *FTL) commitTorn(lpa int64, ppa nand.PPA) {
+	f.stats.TornWrites++
+	f.inc("ftl.torn_write")
+	if f.l2p[lpa] != nand.InvalidPPA {
+		return
+	}
+	f.l2p[lpa] = ppa
+	f.p2l[ppa] = lpa
+	f.blocks[f.arr.BlockOf(ppa)].valid++
+}
+
 // Write stores one page of data at lpa. The pid placement hint is accepted
 // for interface compatibility and deliberately ignored: a conventional SSD
 // has no way to honor it, which is exactly the deficiency FDP addresses.
+//
+// A NAND program failure is handled in place: the bad block is retired, its
+// stranded valid pages migrate to healthy media, and the write retries on a
+// fresh page — the host never sees the media failure, mirroring how real
+// FTLs hide grown bad blocks.
 func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
 	_ = pid
 	if err := f.checkLPA(lpa); err != nil {
 		return now, err
 	}
-	ppa, ready, err := f.allocPage(now)
-	if err != nil {
-		return now, err
+	var ppa nand.PPA
+	for attempt := 0; ; attempt++ {
+		var ready sim.Time
+		ppa, ready, err = f.allocPage(now)
+		if err != nil {
+			return now, err
+		}
+		done, err = f.arr.Program(ready, ppa, data)
+		if err == nil {
+			break
+		}
+		if nand.IsTornWrite(err) {
+			f.commitTorn(lpa, ppa)
+			return done, err
+		}
+		if !nand.IsProgramFail(err) || attempt >= maxProgramRetries {
+			return now, err
+		}
+		f.noteProgramFail(ppa)
+		if now, err = f.drainRetired(done); err != nil {
+			return now, err
+		}
 	}
 	f.invalidate(lpa)
-	done, err = f.arr.Program(ready, ppa, data)
-	if err != nil {
-		return now, err
-	}
 	f.l2p[lpa] = ppa
 	f.p2l[ppa] = lpa
 	f.blocks[f.arr.BlockOf(ppa)].valid++
 	f.stats.HostWritePages++
 	f.stats.NANDWritePages++
+	if len(f.pending) > 0 {
+		// GC during allocPage may have retired blocks; finish their
+		// migrations before returning so no LPA stays on retired media.
+		if _, err := f.drainRetired(done); err != nil {
+			return now, err
+		}
+	}
 	return done, nil
 }
 

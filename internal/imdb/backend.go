@@ -53,6 +53,16 @@ type Recovered struct {
 	// pre-fork segment, if a WAL-Snapshot was in flight at the crash, then
 	// the current segment). Each may have its own torn tail.
 	WALSegments [][]byte
+	// WALTruncatedAt is the byte offset into the open WAL segment where
+	// decoding stopped on non-zero garbage (mid-segment corruption or a torn
+	// page program), or -1 when the segment ended cleanly — a zero tail is
+	// the expected crash artifact and does not count. Recovery replays the
+	// prefix either way; the offset records how much was salvageable.
+	WALTruncatedAt int64
+	// Degraded lists human-readable notes about damage recovery worked
+	// around (unreadable snapshot pages, corrupt WAL tails, lost segments).
+	// Empty means a clean recovery.
+	Degraded []string
 }
 
 // Backend is the persistence substrate: everything below the engine's

@@ -208,6 +208,7 @@ type Engine struct {
 	opSeries     *metrics.Series
 	stats        Stats
 	lastSnapshot *SnapshotEvent
+	lastRecovery *Recovered
 }
 
 // New builds an engine over backend be. opSeries, if non-nil, receives one
@@ -725,6 +726,11 @@ func (e *Engine) finishSnapshot(env *sim.Env, res *snapResult) {
 // LastSnapshot returns the most recent completed snapshot event, or nil.
 func (e *Engine) LastSnapshot() *SnapshotEvent { return e.lastSnapshot }
 
+// LastRecovery returns what the backend handed to the most recent Recover
+// call — including its Degraded notes and WAL truncation point — or nil if
+// Recover has not run.
+func (e *Engine) LastRecovery() *Recovered { return e.lastRecovery }
+
 // Recover loads durable state from the backend into a fresh store,
 // returning counts. It must be called before Start (on a new Engine) and
 // bills realistic CPU: decompress + insert per entry, then WAL replay.
@@ -733,6 +739,7 @@ func (e *Engine) Recover(env *sim.Env) (entries int64, walRecords int64, err err
 	if err != nil {
 		return 0, 0, err
 	}
+	e.lastRecovery = rec
 	cost := e.cfg.Cost
 	if rec.HaveSnapshot {
 		r := snapshot.NewReader(bytes.NewReader(rec.Snapshot))
@@ -742,7 +749,11 @@ func (e *Engine) Recover(env *sim.Env) (entries int64, walRecords int64, err err
 				break
 			}
 			if rerr != nil {
-				return entries, 0, fmt.Errorf("imdb: snapshot load: %w", rerr)
+				// A committed snapshot should decode end to end; damage here
+				// means the device lost pages under it. Keep what loaded and
+				// lean on the WAL replay below rather than refusing to start.
+				rec.Degraded = append(rec.Degraded, fmt.Sprintf("snapshot decode stopped after %d entries: %v", entries, rerr))
+				break
 			}
 			var raw int64
 			for _, ent := range batch {
@@ -755,9 +766,13 @@ func (e *Engine) Recover(env *sim.Env) (entries int64, walRecords int64, err err
 		}
 	}
 	// Replay the log segments in order; each truncates independently at a
-	// torn record.
-	for _, seg := range rec.WALSegments {
-		recs, _ := wal.DecodeAll(seg)
+	// torn record. Corruption past the durable prefix is noted, not fatal:
+	// the prefix is exactly what the backend guaranteed durable.
+	for i, seg := range rec.WALSegments {
+		recs, prefix, corrupt := wal.DecodeStream(seg)
+		if corrupt {
+			rec.Degraded = append(rec.Degraded, fmt.Sprintf("wal segment %d: corrupt frame at byte %d (replayed %d records)", i, prefix, len(recs)))
+		}
 		for _, r := range recs {
 			switch r.Op {
 			case wal.OpDel:

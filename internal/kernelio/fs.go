@@ -2,6 +2,7 @@ package kernelio
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
@@ -103,6 +104,12 @@ type Filesystem struct {
 	// placement ID derived from its name — modelling an FDP-aware
 	// filesystem (Chen et al., "FDPFS"). Nil leaves all writes on PID 0.
 	placementHint func(fileName string) uint32
+
+	// tolerateUnwritten, set on a post-crash remount, makes reads of pages
+	// that never reached the device return zeros instead of failing: a file
+	// whose metadata was journaled but whose data writeback never ran reads
+	// back as holes, exactly like ext4 in data=ordered after power loss.
+	tolerateUnwritten bool
 }
 
 // NewFilesystem mounts a fresh filesystem on dev, using the given scheduler
@@ -198,6 +205,63 @@ func (fs *Filesystem) Open(name string) (*File, error) {
 func (fs *Filesystem) Exists(name string) bool {
 	_, ok := fs.files[name]
 	return ok
+}
+
+// CrashMounted reports whether this filesystem came from Remount — i.e. it
+// is reading post-crash device state rather than its own live cache.
+func (fs *Filesystem) CrashMounted() bool { return fs.tolerateUnwritten }
+
+// Names lists every live file, sorted (directory scan at recovery).
+func (fs *Filesystem) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remount builds a fresh Filesystem over the same device, modelling a crash
+// and reboot: the file table (names, sizes, extent maps) survives because
+// the simulated filesystem journals its metadata, the page cache starts
+// cold, and dirty pages that never reached writeback are simply gone. Pages
+// whose device LPA was never programmed read back as zeros on the new mount
+// (tolerateUnwritten), which a WAL decoder treats as a clean unwritten tail.
+// The old Filesystem must not be used afterwards.
+func (fs *Filesystem) Remount(eng *sim.Engine) *Filesystem {
+	nfs := &Filesystem{
+		eng:               eng,
+		dev:               fs.dev,
+		sched:             NewScheduler(eng, fs.dev, fs.sched.mode, fs.costs),
+		costs:             fs.costs,
+		prof:              fs.prof,
+		journal:           sim.NewResource(eng, 1),
+		files:             make(map[string]*File),
+		freeExtents:       append([]int64(nil), fs.freeExtents...),
+		freshCursor:       fs.freshCursor,
+		metaCursor:        fs.metaCursor,
+		wbKick:            sim.NewBroadcast(eng),
+		drained:           sim.NewBroadcast(eng),
+		commitDone:        sim.NewBroadcast(eng),
+		nextTicket:        1,
+		placementHint:     fs.placementHint,
+		tolerateUnwritten: true,
+	}
+	for name, f := range fs.files {
+		if f.deleted {
+			continue
+		}
+		nfs.files[name] = &File{
+			fs:        nfs,
+			name:      name,
+			size:      f.size,
+			extents:   append([]int64(nil), f.extents...),
+			pages:     make(map[int64]*cachePage),
+			flushDone: sim.NewBroadcast(eng),
+		}
+	}
+	eng.SpawnDaemon("writeback:"+nfs.prof.Name, nfs.writeback)
+	return nfs
 }
 
 // lpaOf maps a file page index to its device LPA, growing the file as
@@ -509,6 +573,23 @@ func (f *File) fillFrom(env *sim.Env, idx int64) error {
 	if err != nil {
 		return err
 	}
+	if fs.tolerateUnwritten {
+		// Post-crash mount: any page in the run may be a hole (allocated,
+		// never flushed). Read page by page, substituting zeros for
+		// unmapped LPAs without touching the device.
+		for i := int64(0); i < run; i++ {
+			buf := make([]byte, ps)
+			if fs.dev.Mapped(lpa + i) {
+				pg, err := fs.dev.Read(env, lpa+i, 1)
+				if err != nil {
+					return err
+				}
+				copy(buf, pg[0])
+			}
+			f.pages[idx+i] = &cachePage{data: buf}
+		}
+		return nil
+	}
 	pages, err := fs.dev.Read(env, lpa, run)
 	if err != nil {
 		return err
@@ -519,6 +600,25 @@ func (f *File) fillFrom(env *sim.Env, idx int64) error {
 		f.pages[idx+i] = &cachePage{data: buf}
 	}
 	return nil
+}
+
+// Truncate shrinks the file to size bytes, dropping clean cached pages past
+// the new end (extents stay allocated, as on a real filesystem until hole
+// punching). Recovery uses it to cut a torn WAL tail before appends resume,
+// the way Redis truncates a partial AOF at startup; at that point the cache
+// holds no dirty pages, so only clean pages need dropping.
+func (f *File) Truncate(size int64) {
+	if size < 0 || size >= f.size {
+		return
+	}
+	f.size = size
+	ps := f.fs.pageSize()
+	firstDead := (size + ps - 1) / ps
+	for idx, pg := range f.pages {
+		if idx >= firstDead && !pg.dirty && !pg.inflight {
+			delete(f.pages, idx)
+		}
+	}
 }
 
 // Delete drops the file: cached dirty data is discarded (deleting an

@@ -118,3 +118,12 @@ func (c *Counter) Inc(name string, n int64) {
 
 // Get reads the named counter (0 if never incremented).
 func (c *Counter) Get(name string) int64 { return c.vals[name] }
+
+// Snapshot returns a copy of every counter, for printing summaries.
+func (c *Counter) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}

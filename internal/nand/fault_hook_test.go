@@ -1,0 +1,111 @@
+package nand
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// scriptHook is a FaultHook with per-call scripted decisions.
+type scriptHook struct {
+	readErr    error
+	programDec ProgramDecision
+	eraseErr   error
+}
+
+func (h *scriptHook) ReadFault(now sim.Time, ppa PPA) error { return h.readErr }
+func (h *scriptHook) ProgramFault(now, done sim.Time, ppa PPA, data []byte) ProgramDecision {
+	return h.programDec
+}
+func (h *scriptHook) EraseFault(now sim.Time, die, block int) error { return h.eraseErr }
+
+func page(s string, size int) []byte {
+	b := make([]byte, 0, size)
+	for len(b) < size {
+		b = append(b, s...)
+	}
+	return b[:size]
+}
+
+func TestHookReadFaultPropagates(t *testing.T) {
+	a := testArray(t)
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), page("ok", a.geo.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	h := &scriptHook{readErr: &DeviceError{Status: StatusUnrecoveredRead, Transient: true, Op: "read"}}
+	a.SetFaultHook(h)
+	_, done, err := a.Read(0, a.PPAOf(0, 0, 0))
+	if !IsTransient(err) || StatusOf(err) != StatusUnrecoveredRead {
+		t.Fatalf("read err = %v, want transient unrecovered-read", err)
+	}
+	if done <= 0 {
+		t.Fatal("failed read must still advance time (retry backoff anchor)")
+	}
+	if a.Stats().ReadFaults != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+	// The data is intact: dropping the hook makes the page readable again.
+	a.SetFaultHook(nil)
+	d, _, err := a.Read(done, a.PPAOf(0, 0, 0))
+	if err != nil || !bytes.Equal(d, page("ok", a.geo.PageSize)) {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+}
+
+// A failed program consumes the page slot (no in-place retry) but stores
+// nothing; a torn program stores the hook's partial image. Both must keep
+// the sequential-program rule moving forward.
+func TestHookProgramFailAndTorn(t *testing.T) {
+	a := testArray(t)
+	h := &scriptHook{programDec: ProgramDecision{Outcome: ProgramFail}}
+	a.SetFaultHook(h)
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), page("lost", a.geo.PageSize)); !IsProgramFail(err) {
+		t.Fatalf("program err = %v, want write-fault", err)
+	}
+	if a.NextProgramPage(0, 0) != 1 {
+		t.Fatalf("failed program must consume the page slot, nextPage = %d", a.NextProgramPage(0, 0))
+	}
+	torn := bytes.Repeat([]byte{0xA5}, a.geo.PageSize)
+	h.programDec = ProgramDecision{Outcome: ProgramTorn, Torn: torn}
+	if _, err := a.Program(0, a.PPAOf(0, 0, 1), page("torn", a.geo.PageSize)); !IsTornWrite(err) {
+		t.Fatalf("program err = %v, want interrupted-write", err)
+	}
+	a.SetFaultHook(nil)
+	// Page 0 holds nothing readable; page 1 holds the torn image.
+	if _, _, err := a.Read(0, a.PPAOf(0, 0, 0)); err == nil {
+		t.Fatal("failed program left readable data")
+	}
+	d, _, err := a.Read(0, a.PPAOf(0, 0, 1))
+	if err != nil || !bytes.Equal(d, torn) {
+		t.Fatalf("torn page read = %v, image match %v", err, bytes.Equal(d, torn))
+	}
+	if s := a.Stats(); s.ProgramFails != 1 || s.TornPrograms != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// A failed erase keeps the block's contents and program pointer so the FTL
+// can still migrate valid pages off it before retiring it.
+func TestHookEraseFaultKeepsContents(t *testing.T) {
+	a := testArray(t)
+	want := page("keep", a.geo.PageSize)
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), want); err != nil {
+		t.Fatal(err)
+	}
+	a.SetFaultHook(&scriptHook{eraseErr: &DeviceError{Status: StatusEraseFault, Op: "erase"}})
+	if _, err := a.Erase(0, 0, 0); !IsEraseFault(err) {
+		t.Fatalf("erase err = %v, want erase-fault", err)
+	}
+	a.SetFaultHook(nil)
+	if a.NextProgramPage(0, 0) != 1 {
+		t.Fatalf("failed erase reset the program pointer to %d", a.NextProgramPage(0, 0))
+	}
+	d, _, err := a.Read(0, a.PPAOf(0, 0, 0))
+	if err != nil || !bytes.Equal(d, want) {
+		t.Fatalf("block lost its contents on failed erase: %v", err)
+	}
+	if a.Stats().EraseFaults != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+}

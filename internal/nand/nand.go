@@ -14,10 +14,119 @@
 package nand
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/slimio/slimio/internal/sim"
 )
+
+// Status is an NVMe-style command status code, surfaced alongside Go errors
+// so the layers above can classify failures the way a real driver would.
+type Status uint16
+
+const (
+	// StatusOK is command success.
+	StatusOK Status = 0
+	// StatusInternal (NVMe 0x06) covers model errors with no media cause.
+	StatusInternal Status = 0x06
+	// StatusWriteFault (NVMe 0x280): the die failed to program the page.
+	// The page is unreadable and the FTL must retire the block.
+	StatusWriteFault Status = 0x280
+	// StatusUnrecoveredRead (NVMe 0x281): the read failed. Injected read
+	// faults are transient — a retry may succeed.
+	StatusUnrecoveredRead Status = 0x281
+	// StatusInterruptedWrite is a model-specific code for a program cut by
+	// power loss: the page holds a torn (partially programmed) image.
+	StatusInterruptedWrite Status = 0x3F0
+	// StatusEraseFault is a model-specific code for a failed block erase;
+	// the block keeps its pre-erase contents and must be retired.
+	StatusEraseFault Status = 0x3F1
+)
+
+// DeviceError is a failed NAND operation with its NVMe-style status.
+type DeviceError struct {
+	Status    Status
+	Transient bool // a retry may succeed (read disturb, not worn media)
+	Op        string
+	PPA       PPA
+}
+
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("nand: %s of PPA %d failed (status 0x%x, transient=%v)", e.Op, e.PPA, uint16(e.Status), e.Transient)
+}
+
+// StatusOf extracts the NVMe-style status from err (StatusOK for nil,
+// StatusInternal for non-device errors).
+func StatusOf(err error) Status {
+	if err == nil {
+		return StatusOK
+	}
+	var de *DeviceError
+	if errors.As(err, &de) {
+		return de.Status
+	}
+	return StatusInternal
+}
+
+// IsDeviceError reports whether err carries an NVMe-style device status (as
+// opposed to a model/usage error such as an out-of-range address).
+func IsDeviceError(err error) bool {
+	var de *DeviceError
+	return errors.As(err, &de)
+}
+
+// IsTransient reports whether err is a device error a retry may clear.
+func IsTransient(err error) bool {
+	var de *DeviceError
+	return errors.As(err, &de) && de.Transient
+}
+
+// IsProgramFail reports a permanent program failure (block must retire).
+func IsProgramFail(err error) bool { return StatusOf(err) == StatusWriteFault }
+
+// IsTornWrite reports a program interrupted by power loss.
+func IsTornWrite(err error) bool { return StatusOf(err) == StatusInterruptedWrite }
+
+// IsEraseFault reports a failed block erase.
+func IsEraseFault(err error) bool { return StatusOf(err) == StatusEraseFault }
+
+// ProgramOutcome classifies what a fault hook did to a page program.
+type ProgramOutcome int
+
+const (
+	// ProgramOK leaves the program untouched.
+	ProgramOK ProgramOutcome = iota
+	// ProgramFail is a permanent media failure: the page stores nothing and
+	// the operation returns StatusWriteFault.
+	ProgramFail
+	// ProgramTorn stores the decision's Torn bytes instead of the payload
+	// (a partial program at power loss) and returns StatusInterruptedWrite.
+	ProgramTorn
+)
+
+// ProgramDecision is a fault hook's verdict on one page program.
+type ProgramDecision struct {
+	Outcome ProgramOutcome
+	// Torn is the partially-programmed image stored when Outcome is
+	// ProgramTorn. The array takes ownership of the slice.
+	Torn []byte
+}
+
+// FaultHook is consulted on every array operation when installed. The zero
+// state (no hook) is a strict no-op: no extra branches beyond one nil check,
+// so fault-free runs stay bit-identical with or without the fault subsystem
+// compiled in. Implementations live in internal/fault.
+type FaultHook interface {
+	// ReadFault returns a non-nil error to fail this read. The array still
+	// reserves die and channel time, so the returned completion time gives
+	// retry backoff a meaningful base.
+	ReadFault(now sim.Time, ppa PPA) error
+	// ProgramFault classifies a program spanning [now, done).
+	ProgramFault(now, done sim.Time, ppa PPA, data []byte) ProgramDecision
+	// EraseFault returns a non-nil error to fail this erase; the block then
+	// keeps its pre-erase contents.
+	EraseFault(now sim.Time, die, block int) error
+}
 
 // Geometry describes the physical layout of the array. The defaults mirror
 // the paper's FEMU configuration (8 channels, 8 dies/channel, 4 KiB pages).
@@ -114,11 +223,17 @@ type blockState struct {
 	erases   int64
 }
 
-// Stats aggregates operation counters for the whole array.
+// Stats aggregates operation counters for the whole array. The fault
+// counters stay zero unless a hook is installed and injects.
 type Stats struct {
 	Reads    int64
 	Programs int64
 	Erases   int64
+
+	ReadFaults   int64
+	ProgramFails int64
+	TornPrograms int64
+	EraseFaults  int64
 }
 
 // Array is the NAND device. It is not safe for concurrent use; in this
@@ -131,7 +246,12 @@ type Array struct {
 	blocks []blockState // indexed by die*BlocksPerDie + block
 	data   [][]byte     // indexed by PPA; nil = unwritten since last erase
 	stats  Stats
+	hook   FaultHook // nil = perfect device
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault injector consulted
+// on every read, program, and erase.
+func (a *Array) SetFaultHook(h FaultHook) { a.hook = h }
 
 // New builds an erased array with the given geometry and latencies.
 func New(geo Geometry, lat Latencies) (*Array, error) {
@@ -204,6 +324,18 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 	if err := a.checkPPA(ppa); err != nil {
 		return nil, now, err
 	}
+	if a.hook != nil {
+		if herr := a.hook.ReadFault(now, ppa); herr != nil {
+			// The die still spent the sense and transfer time; the returned
+			// completion time anchors the caller's retry backoff.
+			die := a.DieOf(ppa)
+			_, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
+			_, done = a.chans[a.channelOf(die)].Reserve(senseEnd, a.lat.ChannelXfer)
+			a.stats.Reads++
+			a.stats.ReadFaults++
+			return nil, done, herr
+		}
+	}
 	d := a.data[ppa]
 	if d == nil {
 		return nil, now, fmt.Errorf("nand: read of unwritten page %d", ppa)
@@ -236,14 +368,27 @@ func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err 
 			blockGlobal, bs.nextPage, page)
 	}
 	bs.nextPage++
-	// Copy so later caller mutation cannot corrupt "flash" contents.
-	stored := make([]byte, len(data))
-	copy(stored, data)
-	a.data[ppa] = stored
 	// Channel transfers data in, then the die programs.
 	_, xferEnd := a.chans[a.channelOf(die)].Reserve(now, a.lat.ChannelXfer)
 	_, done = a.dies[die].Reserve(xferEnd, a.lat.PageWrite)
 	a.stats.Programs++
+	if a.hook != nil {
+		switch dec := a.hook.ProgramFault(now, done, ppa, data); dec.Outcome {
+		case ProgramFail:
+			// The page is consumed (a failed program cannot be retried in
+			// place) but holds nothing readable.
+			a.stats.ProgramFails++
+			return done, &DeviceError{Status: StatusWriteFault, Op: "program", PPA: ppa}
+		case ProgramTorn:
+			a.data[ppa] = dec.Torn
+			a.stats.TornPrograms++
+			return done, &DeviceError{Status: StatusInterruptedWrite, Op: "program", PPA: ppa}
+		}
+	}
+	// Copy so later caller mutation cannot corrupt "flash" contents.
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	a.data[ppa] = stored
 	return done, nil
 }
 
@@ -254,6 +399,16 @@ func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
 		return now, fmt.Errorf("nand: erase of invalid block die=%d block=%d", die, block)
 	}
 	bs := &a.blocks[die*a.geo.BlocksPerDie+block]
+	if a.hook != nil {
+		if herr := a.hook.EraseFault(now, die, block); herr != nil {
+			// A failed erase still occupies the die; the block keeps its
+			// contents and program pointer so the FTL can retire it.
+			_, done = a.dies[die].Reserve(now, a.lat.BlockErase)
+			a.stats.Erases++
+			a.stats.EraseFaults++
+			return done, herr
+		}
+	}
 	bs.nextPage = 0
 	bs.erases++
 	base := a.PPAOf(die, block, 0)

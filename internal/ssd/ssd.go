@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"github.com/slimio/slimio/internal/ftl"
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 )
@@ -29,6 +30,7 @@ type FTL interface {
 	PageSize() int
 	BaseStats() ftl.Stats
 	Array() *nand.Array
+	Mapped(lpa int64) bool
 }
 
 // Config tunes the device front-end.
@@ -36,18 +38,42 @@ type Config struct {
 	// CommandOverhead models NVMe controller processing per command
 	// (submission decode, completion posting). Default 5 µs.
 	CommandOverhead sim.Duration
+	// MaxRetries bounds per-page retries of transient device errors before
+	// the command fails with the NVMe status of the last attempt. Default 5.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per attempt
+	// — all in virtual time on the simulation clock. Default 100 µs.
+	RetryBackoff sim.Duration
+	// Metrics, when non-nil, counts retries and terminal failures
+	// (ssd.read_retry, ssd.write_retry, ssd.read_fail, ssd.write_fail).
+	Metrics *metrics.Counter
 }
 
 func (c *Config) fillDefaults() {
 	if c.CommandOverhead <= 0 {
 		c.CommandOverhead = 5 * sim.Microsecond
 	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * sim.Microsecond
+	}
+}
+
+// IOStats counts front-end error handling.
+type IOStats struct {
+	ReadRetries   int64
+	WriteRetries  int64
+	ReadFailures  int64 // reads failed after exhausting retries
+	WriteFailures int64 // writes failed with a device status (incl. torn)
 }
 
 // Device is a page-granular NVMe-ish block device over an FTL.
 type Device struct {
 	ftl FTL
 	cfg Config
+	io  IOStats
 }
 
 // New wraps an FTL as a Device.
@@ -58,6 +84,67 @@ func New(f FTL, cfg Config) *Device {
 
 // FTL exposes the underlying translation layer (for stats and inspection).
 func (d *Device) FTL() FTL { return d.ftl }
+
+// IOStats reports front-end retry/failure counters.
+func (d *Device) IOStats() IOStats { return d.io }
+
+// Mapped reports whether lpa currently holds data (no media access).
+func (d *Device) Mapped(lpa int64) bool { return d.ftl.Mapped(lpa) }
+
+func (d *Device) inc(name string) {
+	if d.cfg.Metrics != nil {
+		d.cfg.Metrics.Inc(name, 1)
+	}
+}
+
+// readPage reads one page, retrying transient device errors with exponential
+// backoff on the virtual clock. The failed attempt's own completion time is
+// the backoff base, so retries never rewind time.
+func (d *Device) readPage(now sim.Time, lpa int64) ([]byte, sim.Time, error) {
+	backoff := d.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		data, done, err := d.ftl.Read(now, lpa)
+		if err == nil {
+			return data, done, nil
+		}
+		if !nand.IsTransient(err) || attempt >= d.cfg.MaxRetries {
+			if nand.IsDeviceError(err) {
+				d.io.ReadFailures++
+				d.inc("ssd.read_fail")
+			}
+			return nil, done, err
+		}
+		d.io.ReadRetries++
+		d.inc("ssd.read_retry")
+		now = done.Add(backoff)
+		backoff *= 2
+	}
+}
+
+// writePage writes one page with the same transient-retry policy. Permanent
+// program failures never reach here — the FTL absorbs them by retiring the
+// block and remapping — so terminal errors are torn writes (power loss) or
+// model errors.
+func (d *Device) writePage(now sim.Time, lpa int64, data []byte, pid uint32) (sim.Time, error) {
+	backoff := d.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		done, err := d.ftl.Write(now, lpa, data, pid)
+		if err == nil {
+			return done, nil
+		}
+		if !nand.IsTransient(err) || attempt >= d.cfg.MaxRetries {
+			if nand.IsDeviceError(err) {
+				d.io.WriteFailures++
+				d.inc("ssd.write_fail")
+			}
+			return done, err
+		}
+		d.io.WriteRetries++
+		d.inc("ssd.write_retry")
+		now = done.Add(backoff)
+		backoff *= 2
+	}
+}
 
 // Capacity reports the device size in pages.
 func (d *Device) Capacity() int64 { return d.ftl.Capacity() }
@@ -83,9 +170,12 @@ func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32)
 		if len(p) > d.PageSize() {
 			return now, fmt.Errorf("ssd: page %d is %d bytes, page size %d", i, len(p), d.PageSize())
 		}
-		done, err := d.ftl.Write(start, lpa+int64(i), p, pid)
+		done, err := d.writePage(start, lpa+int64(i), p, pid)
 		if err != nil {
-			return now, err
+			if done > end {
+				end = done
+			}
+			return end, err
 		}
 		if done > end {
 			end = done
@@ -101,7 +191,7 @@ func (d *Device) ReadPages(now sim.Time, lpa int64, n int64) ([][]byte, sim.Time
 	end := start
 	out := make([][]byte, 0, n)
 	for i := int64(0); i < n; i++ {
-		data, done, err := d.ftl.Read(start, lpa+i)
+		data, done, err := d.readPage(start, lpa+i)
 		if err != nil {
 			return nil, now, err
 		}
@@ -196,9 +286,12 @@ func (d *Device) WriteScattered(now sim.Time, pages []PageWrite) (sim.Time, erro
 		if len(p.Data) > d.PageSize() {
 			return now, fmt.Errorf("ssd: page at LPA %d is %d bytes, page size %d", p.LPA, len(p.Data), d.PageSize())
 		}
-		done, err := d.ftl.Write(start, p.LPA, p.Data, p.PID)
+		done, err := d.writePage(start, p.LPA, p.Data, p.PID)
 		if err != nil {
-			return now, err
+			if done > end {
+				end = done
+			}
+			return end, err
 		}
 		if done > end {
 			end = done

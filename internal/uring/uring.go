@@ -14,6 +14,7 @@ package uring
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 )
@@ -42,10 +43,13 @@ type SQE struct {
 	result *CQE
 }
 
-// CQE is a completion-queue entry.
+// CQE is a completion-queue entry. Status carries the NVMe-style status of
+// the command (StatusOK on success), mirroring how passthru surfaces raw
+// device status to the application instead of a flattened errno.
 type CQE struct {
-	Err  error
-	Data [][]byte // OpRead results
+	Err    error
+	Status nand.Status
+	Data   [][]byte // OpRead results
 }
 
 // Config tunes the ring.
@@ -183,15 +187,15 @@ func (r *Ring) issue(now sim.Time, sqe *SQE) {
 	switch sqe.Op {
 	case OpWrite:
 		done, err := r.dev.WritePages(now, sqe.LPA, sqe.Pages, sqe.PID)
-		r.complete(done, sqe, &CQE{Err: err})
+		r.complete(done, sqe, &CQE{Err: err, Status: nand.StatusOf(err)})
 	case OpRead:
 		data, done, err := r.dev.ReadPages(now, sqe.LPA, sqe.N)
-		r.complete(done, sqe, &CQE{Err: err, Data: data})
+		r.complete(done, sqe, &CQE{Err: err, Status: nand.StatusOf(err), Data: data})
 	case OpDeallocate:
 		err := r.dev.Deallocate(sqe.LPA, sqe.N)
-		r.complete(now, sqe, &CQE{Err: err})
+		r.complete(now, sqe, &CQE{Err: err, Status: nand.StatusOf(err)})
 	default:
-		r.complete(now, sqe, &CQE{Err: fmt.Errorf("uring: unknown opcode %d", sqe.Op)})
+		r.complete(now, sqe, &CQE{Err: fmt.Errorf("uring: unknown opcode %d", sqe.Op), Status: nand.StatusInternal})
 	}
 }
 

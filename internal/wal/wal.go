@@ -88,25 +88,39 @@ func Decode(buf []byte) (rec Record, n int, err error) {
 	return rec, total, nil
 }
 
+// DecodeStream parses records until the buffer ends or a bad frame stops it.
+// It returns the valid record prefix, the byte offset where decoding stopped
+// (the durable-prefix length; len(buf) when the whole buffer decoded), and
+// whether the stop looked like corruption. A trailing run of zero bytes is a
+// clean unwritten tail (corrupt=false); any non-zero garbage after the last
+// valid frame — a torn page program, flipped bits mid-segment — reports
+// corrupt=true so recovery can distinguish "expected crash artifact" from
+// "data loss past this point".
+func DecodeStream(buf []byte) (recs []Record, prefix int64, corrupt bool) {
+	off := 0
+	for off < len(buf) {
+		rec, n, err := Decode(buf[off:])
+		if err != nil {
+			for _, b := range buf[off:] {
+				if b != 0 {
+					return recs, int64(off), true
+				}
+			}
+			return recs, int64(off), false
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, int64(off), false
+}
+
 // DecodeAll parses records until the buffer ends or a torn frame is hit,
 // returning the valid prefix. A trailing run of zero bytes (an unwritten
 // page tail) is not an error; any other trailing garbage is reported via
 // truncated=true so callers can log it.
 func DecodeAll(buf []byte) (recs []Record, truncated bool) {
-	for len(buf) > 0 {
-		rec, n, err := Decode(buf)
-		if err != nil {
-			for _, b := range buf {
-				if b != 0 {
-					return recs, true
-				}
-			}
-			return recs, false
-		}
-		recs = append(recs, rec)
-		buf = buf[n:]
-	}
-	return recs, false
+	recs, _, corrupt := DecodeStream(buf)
+	return recs, corrupt
 }
 
 // Buffer is the user-level WAL write buffer (the paper's "Periodical-Log"
