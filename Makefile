@@ -1,0 +1,24 @@
+# PR number for the committed benchmark snapshot (BENCH_<PR>.json).
+PR ?= 2
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Regenerate every table/figure at small scale and record per-experiment
+# wall-clock, allocator traffic, and virtual-time throughput. The snapshot
+# is committed per PR so the suite's perf trajectory is tracked in-repo.
+bench:
+	go run ./cmd/slimio-bench -exp all -benchjson BENCH_$(PR).json
+
+# Compile and single-shot every benchmark without running tests: catches
+# benchmark-only regressions cheaply (used by CI).
+bench-smoke:
+	go test -short -run XXX -bench . -benchtime=1x ./...

@@ -28,6 +28,8 @@ import (
 func benchScale(b *testing.B) exp.Scale {
 	// Each experiment simulates a device holding real page bytes; return
 	// the previous experiment's memory to the OS before starting the next.
+	// Scale.Parallel stays 0, so cells fan out across GOMAXPROCS workers
+	// (results are bit-identical at any parallelism; see exp.runCells).
 	debug.FreeOSMemory()
 	b.Cleanup(debug.FreeOSMemory)
 	if testing.Short() {

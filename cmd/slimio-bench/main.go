@@ -12,10 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,12 +39,44 @@ func main() {
 		trigger = flag.Int64("trigger", 0, "override WAL-snapshot trigger in MiB")
 		window  = flag.Duration("window", 0, "override figure 4/5 window (virtual time)")
 
+		parallel   = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		benchJSON  = flag.String("benchjson", "", "write per-experiment wall-clock/allocs/throughput records to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
 		faultSeed  = flag.Int64("fault-seed", 0, "seed for the deterministic fault plan")
 		readErr    = flag.Float64("read-err-rate", 0, "per-read probability of a transient read failure")
 		programErr = flag.Float64("program-err-rate", 0, "per-program probability of a permanent failure (retires the block)")
 		eraseErr   = flag.Float64("erase-err-rate", 0, "per-erase probability of an erase failure (retires the block)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sc := exp.SmallScale()
 	if *scale == "tiny" {
@@ -72,6 +107,7 @@ func main() {
 	sc.ProgramErrRate = *programErr
 	sc.EraseErrRate = *eraseErr
 	sc.Metrics = ctr
+	sc.Parallel = *parallel
 
 	wanted := strings.Split(*expName, ",")
 	has := func(name string) bool {
@@ -84,18 +120,31 @@ func main() {
 	}
 
 	start := time.Now()
+	report := benchReport{Scale: sc.Name, Parallel: *parallel, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if !has(name) {
 			return
 		}
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		out, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(t0).Seconds()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		report.Experiments = append(report.Experiments, benchRecord{
+			Name:        name,
+			WallSeconds: wall,
+			Allocs:      int64(m1.Mallocs - m0.Mallocs),
+			AllocBytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
+			VirtualRPS:  virtualRPS(out),
+		})
 		fmt.Println(out.String())
-		fmt.Printf("(%s finished in %.1fs wall time)\n\n", name, time.Since(t0).Seconds())
+		fmt.Printf("(%s finished in %.1fs wall time)\n\n", name, wall)
 		// Each experiment holds a full simulated device (real page bytes);
 		// return the memory before building the next one.
 		debug.FreeOSMemory()
@@ -111,6 +160,79 @@ func main() {
 	run("fig5", func() (fmt.Stringer, error) { return runFigure(5, sc, figWindow) })
 	printFaultCounters(ctr)
 	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
+
+	if *benchJSON != "" {
+		report.TotalWallSeconds = time.Since(start).Seconds()
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*benchJSON, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+}
+
+// benchReport is the -benchjson payload: the perf trajectory of the suite,
+// tracked as a committed BENCH_<n>.json per PR.
+type benchReport struct {
+	Scale            string        `json:"scale"`
+	Parallel         int           `json:"parallel"`
+	GoMaxProcs       int           `json:"gomaxprocs"`
+	Experiments      []benchRecord `json:"experiments"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+}
+
+// benchRecord is one experiment's cost: wall clock, allocator traffic, and
+// the virtual-time throughput the simulated systems achieved.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      int64   `json:"allocs"`
+	AllocBytes  int64   `json:"alloc_bytes"`
+	VirtualRPS  float64 `json:"virtual_rps,omitempty"`
+}
+
+// virtualRPS extracts a representative virtual-time request rate from an
+// experiment result (mean over rows/systems), 0 where the experiment does
+// not measure one.
+func virtualRPS(out fmt.Stringer) float64 {
+	mean := func(vals []float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	}
+	switch r := out.(type) {
+	case *exp.Table1Result:
+		var vals []float64
+		for _, row := range r.Rows {
+			vals = append(vals, row.RPS)
+		}
+		return mean(vals)
+	case *exp.OverallResult:
+		var vals []float64
+		for _, row := range r.Rows {
+			vals = append(vals, row.Result.AvgRPS)
+		}
+		return mean(vals)
+	case *figureReport:
+		var vals []float64
+		for _, tr := range []*exp.TimelineResult{r.base, r.slim} {
+			vals = append(vals, tr.Summarize(r.warmup).MeanRPS)
+		}
+		return mean(vals)
+	default:
+		return 0
+	}
 }
 
 // printFaultCounters summarizes injected faults and how the stack absorbed

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/slimio/slimio/internal/exp"
@@ -25,13 +27,45 @@ func main() {
 		scale  = flag.String("scale", "small", "scale preset: tiny or small")
 		outDir = flag.String("out", "", "directory for CSV output (default: stdout)")
 		window = flag.Duration("window", 3*time.Second, "virtual observation window")
+
+		parallel   = flag.Int("parallel", 0, "timeline cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sc := exp.SmallScale()
 	if *scale == "tiny" {
 		sc = exp.TinyScale()
 	}
+	sc.Parallel = *parallel
 	w := sim.Duration(window.Nanoseconds())
 
 	var base, slim *exp.TimelineResult

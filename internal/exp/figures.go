@@ -36,11 +36,10 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 	// One shortened repetition: WAL-Snapshots are off, so the log must fit.
 	sc.Reps = 1
 	sc.OpsPerRep /= 2
-	out := &Figure2Result{}
-	run := func(name string, cfg CellConfig) error {
+	run := func(name string, cfg CellConfig) (Figure2Scenario, error) {
 		res, err := RunCell(cfg)
 		if err != nil {
-			return err
+			return Figure2Scenario{}, err
 		}
 		var ev *imdb.SnapshotEvent
 		for i := range res.Snapshots {
@@ -49,7 +48,7 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 			}
 		}
 		if ev == nil {
-			return fmt.Errorf("exp: scenario %s produced no on-demand snapshot", name)
+			return Figure2Scenario{}, fmt.Errorf("exp: scenario %s produced no on-demand snapshot", name)
 		}
 		s := Figure2Scenario{
 			Name:       name,
@@ -78,8 +77,7 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 		}
 		res.Stack.Eng.Shutdown()
 		res.ReleaseHeavy()
-		out.Scenarios = append(out.Scenarios, s)
-		return nil
+		return s, nil
 	}
 	base := CellConfig{
 		Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
@@ -87,18 +85,29 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 	}
 	only := base
 	only.SnapshotOnly = true
-	if err := run("Snapshot Only", only); err != nil {
-		return nil, err
-	}
 	withWAL := base
 	withWAL.OnDemandMidRun = true
 	withWAL.Preload = true // identical dataset across scenarios
-	if err := run("Snapshot & WAL", withWAL); err != nil {
-		return nil, err
-	}
 	underGC := withWAL
 	underGC.GCPressure = true
-	if err := run("Snapshot & WAL (under GC)", underGC); err != nil {
+	scenarios := []struct {
+		name string
+		cfg  CellConfig
+	}{
+		{"Snapshot Only", only},
+		{"Snapshot & WAL", withWAL},
+		{"Snapshot & WAL (under GC)", underGC},
+	}
+	out := &Figure2Result{Scenarios: make([]Figure2Scenario, len(scenarios))}
+	err := runCells(len(scenarios), sc.Parallel, func(i int) error {
+		s, err := run(scenarios[i].name, scenarios[i].cfg)
+		if err != nil {
+			return err
+		}
+		out.Scenarios[i] = s
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -188,32 +197,45 @@ func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.D
 // RPS on a conventional SSD under GC pressure — the baseline's page cache
 // absorbs GC stalls while SlimIO's direct writes nosedive.
 func RunFigure4(sc Scale, window sim.Duration) (baselineT, slimT *TimelineResult, err error) {
-	odsEvery := window / 4
-	baselineT, err = RunTimeline(BaselineF2FS, sc, window, odsEvery, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	slimT, err = RunTimeline(SlimIOConv, sc, window, odsEvery, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	return baselineT, slimT, nil
+	return runTimelinePair(sc,
+		timelineSpec{BaselineF2FS, window, window / 4, true},
+		timelineSpec{SlimIOConv, window, window / 4, true})
 }
 
 // RunFigure5 regenerates Figure 5: baseline vs SlimIO-on-FDP — with
 // lifetime separation the runtime RPS stays in a stable band except during
 // snapshots.
 func RunFigure5(sc Scale, window sim.Duration) (baselineT, slimT *TimelineResult, err error) {
-	odsEvery := window / 4
-	baselineT, err = RunTimeline(BaselineF2FS, sc, window, odsEvery, true)
+	return runTimelinePair(sc,
+		timelineSpec{BaselineF2FS, window, window / 4, true},
+		timelineSpec{SlimIOFDP, window, window / 4, false})
+}
+
+// timelineSpec parameterizes one RunTimeline call for the pair scheduler.
+type timelineSpec struct {
+	kind       BackendKind
+	window     sim.Duration
+	odsEvery   sim.Duration
+	gcPressure bool
+}
+
+// runTimelinePair runs two independent timeline cells under the parallel
+// cell scheduler, preserving (baseline, slim) result order.
+func runTimelinePair(sc Scale, specs ...timelineSpec) (*TimelineResult, *TimelineResult, error) {
+	results := make([]*TimelineResult, len(specs))
+	err := runCells(len(specs), sc.Parallel, func(i int) error {
+		s := specs[i]
+		tr, err := RunTimeline(s.kind, sc, s.window, s.odsEvery, s.gcPressure)
+		if err != nil {
+			return err
+		}
+		results[i] = tr
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	slimT, err = RunTimeline(SlimIOFDP, sc, window, odsEvery, false)
-	if err != nil {
-		return nil, nil, err
-	}
-	return baselineT, slimT, nil
+	return results[0], results[1], nil
 }
 
 // TimelineSummary condenses a trace for textual reports: mean rate, minimum

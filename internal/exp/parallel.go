@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runCells executes n independent experiment cells with bounded parallelism.
+// Each cell is a fully self-contained deterministic simulation (its own
+// engine, device, RNGs), so running cells concurrently cannot perturb any
+// cell's results; callers store each job's output into a preallocated slot
+// indexed by job number, which keeps output ordering identical to a serial
+// run. parallel <= 0 means GOMAXPROCS.
+//
+// With parallel == 1 the jobs run inline on the calling goroutine, in order
+// — byte-for-byte the serial harness — which the determinism regression
+// test uses as its reference.
+//
+// The first error by job index wins, matching serial error reporting.
+func runCells(n, parallel int, job func(i int) error) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

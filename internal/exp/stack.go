@@ -99,6 +99,12 @@ type Scale struct {
 	// Metrics, when non-nil, collects fault/retry/retirement counters from
 	// every layer of the stack for the bench summary.
 	Metrics *metrics.Counter
+
+	// Parallel bounds how many experiment cells run concurrently (each cell
+	// is an independent deterministic simulation; results and output order
+	// are identical at any setting). 0 means GOMAXPROCS, 1 forces the
+	// serial harness.
+	Parallel int
 }
 
 // SmallScale is the default: ~1/500 of the paper's volume, seconds to run.
@@ -169,6 +175,7 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	arr.SetClock(eng)
 	st := &Stack{Kind: kind, Eng: eng}
 
 	// Install the fault plan only when it can inject something: an absent

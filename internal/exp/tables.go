@@ -28,24 +28,33 @@ type Table1Row struct {
 // RunTable1 regenerates Table 1 (baseline only, redis-benchmark workload,
 // Periodical-Log, WAL-Snapshots enabled, no On-Demand-Snapshot — §2.2).
 func RunTable1(sc Scale) (*Table1Result, error) {
-	out := &Table1Result{}
-	for _, kind := range []BackendKind{BaselineEXT4, BaselineF2FS} {
+	kinds := []BackendKind{BaselineEXT4, BaselineF2FS}
+	rows := make([][2]Table1Row, len(kinds))
+	err := runCells(len(kinds), sc.Parallel, func(i int) error {
 		res, err := RunCell(CellConfig{
-			Kind:     kind,
+			Kind:     kinds[i],
 			Policy:   imdb.PeriodicalLog,
 			Scale:    sc,
 			Workload: workload.RedisBench(0, sc.KeyRange),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fs := res.Stack.FS.Profile().Name
 		res.Stack.Eng.Shutdown()
 		res.ReleaseHeavy()
-		out.Rows = append(out.Rows,
-			Table1Row{FS: fs, Phase: "WAL Only", RPS: res.WALOnlyRPS, MemBytes: res.WALOnlyMem},
-			Table1Row{FS: fs, Phase: "Snapshot&WAL", RPS: res.SnapRPS, MemBytes: res.SnapMem},
-		)
+		rows[i] = [2]Table1Row{
+			{FS: fs, Phase: "WAL Only", RPS: res.WALOnlyRPS, MemBytes: res.WALOnlyMem},
+			{FS: fs, Phase: "Snapshot&WAL", RPS: res.SnapRPS, MemBytes: res.SnapMem},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{}
+	for _, pair := range rows {
+		out.Rows = append(out.Rows, pair[0], pair[1])
 	}
 	return out, nil
 }
@@ -93,24 +102,32 @@ func RunTable2(sc Scale) (*Table2Result, error) {
 		}
 		return 100 * float64(fsBusy) / float64(dur), nil
 	}
-	only, err := fsShare(CellConfig{
-		Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
-		Workload:     workload.RedisBench(0, sc.KeyRange),
-		SnapshotOnly: true, DisableWALSnapshots: true,
+	cfgs := []CellConfig{
+		{
+			Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
+			Workload:     workload.RedisBench(0, sc.KeyRange),
+			SnapshotOnly: true, DisableWALSnapshots: true,
+		},
+		{
+			Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
+			Workload:       workload.RedisBench(0, sc.KeyRange),
+			OnDemandMidRun: true, DisableWALSnapshots: true,
+			Preload: true, // identical dataset to the Snapshot-Only scenario
+		},
+	}
+	shares := make([]float64, len(cfgs))
+	err := runCells(len(cfgs), sc.Parallel, func(i int) error {
+		pctv, err := fsShare(cfgs[i])
+		if err != nil {
+			return err
+		}
+		shares[i] = pctv
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	with, err := fsShare(CellConfig{
-		Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
-		Workload:       workload.RedisBench(0, sc.KeyRange),
-		OnDemandMidRun: true, DisableWALSnapshots: true,
-		Preload: true, // identical dataset to the Snapshot-Only scenario
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Table2Result{SnapshotOnlyPct: only, SnapshotWALPct: with}, nil
+	return &Table2Result{SnapshotOnlyPct: shares[0], SnapshotWALPct: shares[1]}, nil
 }
 
 func (t *Table2Result) String() string {
@@ -145,25 +162,40 @@ type OverallResult struct {
 // (passthru on FDP), with per-repetition On-Demand-Snapshots.
 func RunTable3(sc Scale) (*OverallResult, error) {
 	out := &OverallResult{Title: "Table 3: Overall Evaluation with Redis Benchmark Workload", HasWAF: true}
+	type spec struct {
+		pol  imdb.LogPolicy
+		kind BackendKind
+	}
+	var specs []spec
 	for _, pol := range []imdb.LogPolicy{imdb.PeriodicalLog, imdb.AlwaysLog} {
 		for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
-			res, err := RunCell(CellConfig{
-				Kind: kind, Policy: pol, Scale: sc,
-				Workload:       workload.RedisBench(0, sc.KeyRange),
-				OnDemandPerRep: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			name := "Baseline"
-			if kind == SlimIOFDP {
-				name = "SlimIO"
-			}
-			res.Stack.Eng.Shutdown()
-			res.ReleaseHeavy()
-			out.Rows = append(out.Rows, OverallRow{Policy: pol, System: name, Kind: kind, Result: res})
+			specs = append(specs, spec{pol, kind})
 		}
 	}
+	rows := make([]OverallRow, len(specs))
+	err := runCells(len(specs), sc.Parallel, func(i int) error {
+		s := specs[i]
+		res, err := RunCell(CellConfig{
+			Kind: s.kind, Policy: s.pol, Scale: sc,
+			Workload:       workload.RedisBench(0, sc.KeyRange),
+			OnDemandPerRep: true,
+		})
+		if err != nil {
+			return err
+		}
+		name := "Baseline"
+		if s.kind == SlimIOFDP {
+			name = "SlimIO"
+		}
+		res.Stack.Eng.Shutdown()
+		res.ReleaseHeavy()
+		rows[i] = OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -176,26 +208,41 @@ func RunTable4(sc Scale) (*OverallResult, error) {
 	if ycsbScale.ValueSize == 0 {
 		ycsbScale.ValueSize = 2048
 	}
+	type spec struct {
+		pol  imdb.LogPolicy
+		kind BackendKind
+	}
+	var specs []spec
 	for _, pol := range []imdb.LogPolicy{imdb.PeriodicalLog, imdb.AlwaysLog} {
 		for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
-			res, err := RunCell(CellConfig{
-				Kind: kind, Policy: pol, Scale: ycsbScale,
-				Workload: workload.YCSBA(0, ycsbScale.KeyRange),
-				Preload:  true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			name := "Baseline"
-			if kind == SlimIOFDP {
-				name = "SlimIO"
-			}
-			row := OverallRow{Policy: pol, System: name, Kind: kind, Result: res, GetP999: res.getHist.P999()}
-			res.Stack.Eng.Shutdown()
-			res.ReleaseHeavy()
-			out.Rows = append(out.Rows, row)
+			specs = append(specs, spec{pol, kind})
 		}
 	}
+	rows := make([]OverallRow, len(specs))
+	err := runCells(len(specs), sc.Parallel, func(i int) error {
+		s := specs[i]
+		res, err := RunCell(CellConfig{
+			Kind: s.kind, Policy: s.pol, Scale: ycsbScale,
+			Workload: workload.YCSBA(0, ycsbScale.KeyRange),
+			Preload:  true,
+		})
+		if err != nil {
+			return err
+		}
+		name := "Baseline"
+		if s.kind == SlimIOFDP {
+			name = "SlimIO"
+		}
+		row := OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res, GetP999: res.getHist.P999()}
+		res.Stack.Eng.Shutdown()
+		res.ReleaseHeavy()
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -246,15 +293,17 @@ type Table5Row struct {
 // on each backend, then recover into a fresh engine and time the load
 // (cold page cache for the baseline).
 func RunTable5(sc Scale) (*Table5Result, error) {
-	out := &Table5Result{}
-	for _, kind := range []BackendKind{BaselineF2FS, SlimIOFDP} {
+	kinds := []BackendKind{BaselineF2FS, SlimIOFDP}
+	rows := make([]Table5Row, len(kinds))
+	jobErr := runCells(len(kinds), sc.Parallel, func(i int) error {
+		kind := kinds[i]
 		cell, err := RunCell(CellConfig{
 			Kind: kind, Policy: imdb.PeriodicalLog, Scale: sc,
 			Workload:       workload.RedisBench(0, sc.KeyRange),
 			OnDemandPerRep: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		eng := cell.Stack.Eng
 		db2 := imdb.New(eng, cell.Stack.Backend, imdb.Config{}, nil)
@@ -275,7 +324,7 @@ func RunTable5(sc Scale) (*Table5Result, error) {
 		})
 		eng.Run()
 		if recErr != nil {
-			return nil, recErr
+			return recErr
 		}
 		// Recovered image size: the last snapshot's compressed bytes plus
 		// the replayed WAL.
@@ -291,9 +340,13 @@ func RunTable5(sc Scale) (*Table5Result, error) {
 		}
 		cell.Stack.Eng.Shutdown()
 		cell.ReleaseHeavy()
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if jobErr != nil {
+		return nil, jobErr
 	}
-	return out, nil
+	return &Table5Result{Rows: rows}, nil
 }
 
 func (t *Table5Result) String() string {

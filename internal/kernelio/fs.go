@@ -110,6 +110,32 @@ type Filesystem struct {
 	// whose metadata was journaled but whose data writeback never ran reads
 	// back as holes, exactly like ext4 in data=ordered after power loss.
 	tolerateUnwritten bool
+
+	// wbPool recycles the page-sized buffers that carry cache-page snapshots
+	// to the device (collectDirty and the writeback daemon copy each page
+	// before submitting; the device has consumed the bytes by the time the
+	// request's Done fires, so the buffer returns here). Every flushed page
+	// used to allocate its own copy.
+	wbPool [][]byte
+}
+
+// getWBBuf returns a full page buffer for a writeback copy. Contents are
+// unspecified; the caller overwrites the whole page.
+func (fs *Filesystem) getWBBuf() []byte {
+	if n := len(fs.wbPool); n > 0 {
+		buf := fs.wbPool[n-1]
+		fs.wbPool = fs.wbPool[:n-1]
+		return buf
+	}
+	return make([]byte, fs.pageSize())
+}
+
+// putWBBuf recycles a writeback buffer once the device request completed.
+func (fs *Filesystem) putWBBuf(buf []byte) {
+	if int64(cap(buf)) != fs.pageSize() {
+		return
+	}
+	fs.wbPool = append(fs.wbPool, buf[:fs.pageSize()])
 }
 
 // NewFilesystem mounts a fresh filesystem on dev, using the given scheduler
@@ -410,7 +436,7 @@ func (f *File) collectDirty(max int) ([]ssd.PageWrite, []*cachePage) {
 		pg.inflight = true
 		f.inflightN++
 		f.fs.dirtyCount--
-		data := make([]byte, len(pg.data))
+		data := f.fs.getWBBuf()[:len(pg.data)]
 		copy(data, pg.data)
 		out = append(out, ssd.PageWrite{LPA: lpa, Data: data, PID: f.fs.pidOf(f.name)})
 		flushed = append(flushed, pg)
@@ -440,7 +466,11 @@ func (f *File) Fsync(env *sim.Env) error {
 			break
 		}
 		req := fs.sched.Submit(batch, true)
-		if err, _ := req.Done.Wait(env).(error); err != nil {
+		err, _ := req.Done.Wait(env).(error)
+		for i := range batch {
+			fs.putWBBuf(batch[i].Data)
+		}
+		if err != nil {
 			return err
 		}
 		for _, pg := range flushed {
@@ -718,7 +748,7 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 				fs.dirtyCount--
 				// Remove from the file's own dirty list lazily: collectDirty
 				// skips non-dirty entries.
-				data := make([]byte, len(pg.data))
+				data := fs.getWBBuf()[:len(pg.data)]
 				copy(data, pg.data)
 				batch = append(batch, ssd.PageWrite{LPA: lpa, Data: data, PID: fs.pidOf(ref.f.name)})
 				touched = append(touched, ref.f)
@@ -742,6 +772,9 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 		inflight = inflight[1:]
 		w.req.Done.Wait(env)
 		fs.stats.WritebackPages += int64(len(w.req.Pages))
+		for i := range w.req.Pages {
+			fs.putWBBuf(w.req.Pages[i].Data)
+		}
 		for i, f := range w.touched {
 			w.flushed[i].inflight = false
 			f.clearInflight(1)

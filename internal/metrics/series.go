@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/slimio/slimio/internal/sim"
 )
@@ -103,24 +104,35 @@ func (s *Series) CSV() string {
 	return b.String()
 }
 
-// Counter is a named monotonic counter set.
+// Counter is a named monotonic counter set. It is safe for concurrent use:
+// one Counter is shared by every experiment cell, and the parallel cell
+// scheduler runs cells on separate goroutines.
 type Counter struct {
+	mu   sync.Mutex
 	vals map[string]int64
 }
 
 // Inc adds n to the named counter.
 func (c *Counter) Inc(name string, n int64) {
+	c.mu.Lock()
 	if c.vals == nil {
 		c.vals = make(map[string]int64)
 	}
 	c.vals[name] += n
+	c.mu.Unlock()
 }
 
 // Get reads the named counter (0 if never incremented).
-func (c *Counter) Get(name string) int64 { return c.vals[name] }
+func (c *Counter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Snapshot returns a copy of every counter, for printing summaries.
 func (c *Counter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]int64, len(c.vals))
 	for k, v := range c.vals {
 		out[k] = v

@@ -1,0 +1,89 @@
+package nand
+
+import "github.com/slimio/slimio/internal/sim"
+
+// arenaChunkPages is how many page buffers each fresh arena chunk carves.
+const arenaChunkPages = 64
+
+// quarantineSlack pads the read horizon when a freed buffer enters
+// quarantine. Read results are handed to consumers as aliases at the read's
+// completion time; every consumer in this repository copies the bytes out
+// within the same-timestamp event cascade plus sub-microsecond ring/handler
+// work (≤ ~300 ns), so a microsecond-scale pad is far more than enough.
+const quarantineSlack = 10 * sim.Microsecond
+
+// quarBuf is a freed page buffer that becomes reusable at ready.
+type quarBuf struct {
+	buf   []byte
+	ready sim.Time
+}
+
+// pageArena allocates page buffers in large chunks and recycles the buffers
+// of erased pages. Program used to `make([]byte, ...)` per stored page —
+// the single largest allocation source in the simulator — while erases threw
+// the old buffers to the garbage collector; the arena turns that churn into
+// steady-state reuse.
+//
+// Recycling is gated by a virtual-time quarantine: Array.Read returns stored
+// pages by alias, so a buffer freed by an erase may still be referenced by
+// an in-flight read (e.g. GC migrates a block's live pages, erases it, and a
+// host read issued just before is still being consumed). A freed buffer
+// re-enters circulation only once the clock passes every read completion
+// that could alias it (the array's read horizon at free time, padded by
+// quarantineSlack for post-completion handler work). Consumers must copy
+// read data before their next yield — which every caller in this repository
+// does; see Array.Read.
+type pageArena struct {
+	pageSize int
+	chunk    []byte
+	free     [][]byte
+	// quar is FIFO: the read horizon is monotone, so buffers become ready
+	// in the order they were freed.
+	quar    []quarBuf
+	quarOff int
+}
+
+// get returns an n-byte buffer (n ≤ pageSize). Contents are unspecified;
+// the caller must overwrite all n bytes.
+func (a *pageArena) get(now sim.Time, n int) []byte {
+	for a.quarOff < len(a.quar) && a.quar[a.quarOff].ready < now {
+		a.free = append(a.free, a.quar[a.quarOff].buf)
+		a.quar[a.quarOff] = quarBuf{}
+		a.quarOff++
+	}
+	if a.quarOff > 0 && (a.quarOff == len(a.quar) || a.quarOff > len(a.quar)/2) {
+		// Slide pending entries to the front so the backing array is reused
+		// instead of growing while the head is consumed.
+		n := copy(a.quar, a.quar[a.quarOff:])
+		for i := n; i < len(a.quar); i++ {
+			a.quar[i] = quarBuf{}
+		}
+		a.quar, a.quarOff = a.quar[:n], 0
+	}
+	if k := len(a.free); k > 0 {
+		buf := a.free[k-1]
+		a.free = a.free[:k-1]
+		return buf[:n]
+	}
+	return a.getFresh(n)
+}
+
+// getFresh carves a never-used buffer from the current chunk, bypassing the
+// recycle path (used when no clock is attached to gate reuse).
+func (a *pageArena) getFresh(n int) []byte {
+	if len(a.chunk) < a.pageSize {
+		a.chunk = make([]byte, arenaChunkPages*a.pageSize)
+	}
+	buf := a.chunk[:a.pageSize:a.pageSize]
+	a.chunk = a.chunk[a.pageSize:]
+	return buf[:n]
+}
+
+// put quarantines buf until ready. Buffers the arena did not carve (torn
+// images handed in by the fault hook) are dropped to the garbage collector.
+func (a *pageArena) put(buf []byte, ready sim.Time) {
+	if cap(buf) != a.pageSize {
+		return
+	}
+	a.quar = append(a.quar, quarBuf{buf: buf[:a.pageSize], ready: ready})
+}

@@ -245,9 +245,31 @@ type Array struct {
 	chans  []sim.Timeline
 	blocks []blockState // indexed by die*BlocksPerDie + block
 	data   [][]byte     // indexed by PPA; nil = unwritten since last erase
-	stats  Stats
-	hook   FaultHook // nil = perfect device
+	arena  pageArena
+	// readHorizon is the latest completion time over all reads so far: no
+	// outstanding read alias can be consumed after it (plus handler slack).
+	// It gates recycling of erased pages' buffers; see pageArena.
+	readHorizon sim.Time
+	// clock, when set, reports the engine's current execution instant —
+	// required to recycle buffers, because op `now` arguments can run ahead
+	// of the clock inside synchronous FTL chains (GC migrations forward
+	// future completion times), while quarantined buffers only become safe
+	// once the *executing* event time passes every aliasing read.
+	clock Clock
+	stats Stats
+	hook  FaultHook // nil = perfect device
 }
+
+// Clock reports the current virtual time; *sim.Engine satisfies it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// SetClock attaches the simulation clock, enabling recycling of erased
+// pages' buffers through the page arena. Without a clock the arena still
+// batches allocations in chunks but never reuses a freed buffer (always
+// safe, just less economical).
+func (a *Array) SetClock(c Clock) { a.clock = c }
 
 // SetFaultHook installs (or, with nil, removes) the fault injector consulted
 // on every read, program, and erase.
@@ -265,6 +287,7 @@ func New(geo Geometry, lat Latencies) (*Array, error) {
 		chans:  make([]sim.Timeline, geo.Channels),
 		blocks: make([]blockState, geo.Blocks()),
 		data:   make([][]byte, geo.Pages()),
+		arena:  pageArena{pageSize: geo.PageSize},
 	}, nil
 }
 
@@ -320,6 +343,12 @@ func (a *Array) EraseCount(die, block int) int64 {
 // Read returns the bytes stored at ppa along with the virtual time at which
 // the data is available. Reading a page that was never programmed since its
 // last erase is an FTL bug and returns an error.
+//
+// The returned slice aliases the stored page: it is valid until the caller's
+// next simulation yield after the completion time, by which point the bytes
+// must have been copied out (erased-page buffers are recycled once the clock
+// passes the read horizon). Every consumer in this repository copies
+// immediately on completion.
 func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err error) {
 	if err := a.checkPPA(ppa); err != nil {
 		return nil, now, err
@@ -344,6 +373,9 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 	// Die senses the page, then the channel transfers it out.
 	_, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
 	_, done = a.chans[a.channelOf(die)].Reserve(senseEnd, a.lat.ChannelXfer)
+	if done > a.readHorizon {
+		a.readHorizon = done
+	}
 	a.stats.Reads++
 	return d, done, nil
 }
@@ -385,8 +417,16 @@ func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err 
 			return done, &DeviceError{Status: StatusInterruptedWrite, Op: "program", PPA: ppa}
 		}
 	}
-	// Copy so later caller mutation cannot corrupt "flash" contents.
-	stored := make([]byte, len(data))
+	// Copy so later caller mutation cannot corrupt "flash" contents. The
+	// buffer comes from the page arena, which recycles erased pages'
+	// buffers instead of allocating per program. The reclaim gate is the
+	// engine clock, not `now`: see Array.clock.
+	var stored []byte
+	if a.clock != nil {
+		stored = a.arena.get(a.clock.Now(), len(data))
+	} else {
+		stored = a.arena.getFresh(len(data))
+	}
 	copy(stored, data)
 	a.data[ppa] = stored
 	return done, nil
@@ -412,8 +452,14 @@ func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
 	bs.nextPage = 0
 	bs.erases++
 	base := a.PPAOf(die, block, 0)
+	reusable := a.readHorizon.Add(quarantineSlack)
 	for p := 0; p < a.geo.PagesPerBlock; p++ {
-		a.data[base+PPA(p)] = nil
+		if d := a.data[base+PPA(p)]; d != nil {
+			if a.clock != nil {
+				a.arena.put(d, reusable)
+			}
+			a.data[base+PPA(p)] = nil
+		}
 	}
 	_, done = a.dies[die].Reserve(now, a.lat.BlockErase)
 	a.stats.Erases++

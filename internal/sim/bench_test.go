@@ -48,6 +48,32 @@ func BenchmarkResourceHandoff(b *testing.B) {
 	e.Run()
 }
 
+// TestHotPathAllocBudgets pins the allocation budget of the three DES hot
+// paths: the event loop and coroutine switch must be allocation-free, and a
+// contended resource handoff may allocate at most once per op (waiter-ring
+// growth amortizes to zero; the budget leaves headroom for runtime noise).
+// Regressions here reintroduce GC pressure that dominates paper-scale runs.
+func TestHotPathAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed assertion is not a -short test")
+	}
+	cases := []struct {
+		name   string
+		bench  func(*testing.B)
+		budget int64 // max allocs/op
+	}{
+		{"EventThroughput", BenchmarkEventThroughput, 0},
+		{"ProcessSwitch", BenchmarkProcessSwitch, 1},
+		{"ResourceHandoff", BenchmarkResourceHandoff, 1},
+	}
+	for _, tc := range cases {
+		res := testing.Benchmark(tc.bench)
+		if got := res.AllocsPerOp(); got > tc.budget {
+			t.Errorf("%s: %d allocs/op, budget %d (%s)", tc.name, got, tc.budget, res.MemString())
+		}
+	}
+}
+
 // BenchmarkTimelineReserve measures the analytic facility booking used by
 // the NAND model.
 func BenchmarkTimelineReserve(b *testing.B) {

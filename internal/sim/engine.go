@@ -1,13 +1,10 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a single scheduled occurrence. Exactly one of fn or proc is set:
-// fn events run inline on the engine goroutine; proc events resume a parked
-// process.
+// fn events run inline on whichever goroutine currently drives the
+// simulation; proc events resume (or first start) a process.
 type event struct {
 	at   Time
 	seq  uint64
@@ -15,34 +12,103 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, seq). seq is unique per engine, so this
+// is a strict total order: execution order is fully determined by the
+// schedule, never by queue internals — the root of bit-reproducibility.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+// eventHeap is a 4-ary min-heap of events ordered by (time, seq). A custom
+// non-boxing heap (instead of container/heap over an interface) keeps
+// push/pop free of interface-conversion allocations — the event queue is the
+// hottest data structure in the simulator. 4-ary halves the tree depth
+// versus binary, trading slightly more comparisons per level for fewer
+// cache-missing swaps on the sift paths.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = event{} // release fn/proc references
+	h.items = h.items[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h.items[c], h.items[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h.items[min], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+	return top
 }
 
 // Engine owns the virtual clock and the event queue. The zero value is not
 // usable; construct with NewEngine.
+//
+// Scheduling model: exactly one goroutine at a time holds the simulation
+// "baton" — either the driver (the goroutine that called Run/RunUntil/
+// Shutdown) or one process goroutine. A parking process does not bounce
+// control back to the driver: it pops the next event itself and hands the
+// baton directly to the next runnable process (or runs callbacks inline, or
+// simply returns if the next event is its own wake-up). That removes up to
+// two goroutine context switches per park/resume while executing events in
+// exactly the same (time, seq) order as a central dispatch loop would.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	ack    chan struct{}
-	// running is the process currently holding the (conceptual) simulation
-	// thread; nil while the engine itself is executing callbacks.
+	now  Time
+	seq  uint64
+	heap eventHeap
+	// fifo holds events scheduled for the current timestamp. Scheduling at
+	// `now` is the overwhelmingly common case (Resource.Release → waiter,
+	// Signal.Fire → waiter, completion → handler), and such events always
+	// sort after the heap's same-time entries and before everything later,
+	// so a plain ring preserves (time, seq) order while skipping the heap.
+	fifo ring[event]
+
+	// driverCh parks the driver while a process goroutine carries the
+	// simulation; a process hands the baton back when the queue drains,
+	// the RunUntil deadline is reached, or the engine is stopped.
+	driverCh chan struct{}
+	limit    Time
+	limited  bool
+
+	// running is the process currently holding the simulation baton; nil
+	// while the driver is executing callbacks.
 	running  *Proc
 	procs    map[*Proc]struct{}
 	nprocs   int
@@ -53,34 +119,36 @@ type Engine struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{ack: make(chan struct{}), procs: make(map[*Proc]struct{})}
+	return &Engine{driverCh: make(chan struct{}), procs: make(map[*Proc]struct{})}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at time t (clamped to now if in the past). Callbacks
-// run on the engine goroutine and must not block; they may schedule further
-// events, fire signals, and release resources.
-func (e *Engine) At(t Time, fn func()) {
+// schedule enqueues an event at t (clamped to now if in the past).
+func (e *Engine) schedule(t Time, fn func(), p *Proc) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn, proc: p}
+	if t == e.now {
+		e.fifo.push(ev)
+		return
+	}
+	e.heap.push(ev)
 }
+
+// At schedules fn to run at time t (clamped to now if in the past). Callbacks
+// run on the goroutine driving the simulation and must not block; they may
+// schedule further events, fire signals, and release resources.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn, nil) }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
 
 // wakeAt schedules p to be resumed at time t.
-func (e *Engine) wakeAt(t Time, p *Proc) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, proc: p})
-}
+func (e *Engine) wakeAt(t Time, p *Proc) { e.schedule(t, nil, p) }
 
 // Spawn creates a process executing fn and schedules it to start now.
 // Processes run one at a time; fn must yield only through sim primitives.
@@ -88,12 +156,13 @@ func (e *Engine) Spawn(name string, fn func(*Env)) *Proc {
 	p := &Proc{
 		name:   name,
 		eng:    e,
+		fn:     fn,
 		resume: make(chan struct{}),
 		Done:   NewSignal(e),
 	}
 	e.nprocs++
 	e.procs[p] = struct{}{}
-	e.At(e.now, func() { e.startProc(p, fn) })
+	e.schedule(e.now, nil, p)
 	return p
 }
 
@@ -111,42 +180,121 @@ func (e *Engine) SpawnDaemon(name string, fn func(*Env)) *Proc {
 // during Engine.Shutdown.
 type procKilled struct{}
 
-func (e *Engine) startProc(p *Proc, fn func(*Env)) {
-	e.running = p
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); !ok {
-					panic(r)
-				}
-			}
-			p.done = true
-			e.nprocs--
-			if p.daemon {
-				e.ndaemons--
-			}
-			delete(e.procs, p)
-			if !p.Done.Fired() {
-				p.Done.Fire(nil)
-			}
-			e.ack <- struct{}{}
-		}()
-		env := &Env{p: p, eng: e}
-		fn(env)
-	}()
-	<-e.ack
-	e.running = nil
+// popNext removes the earliest pending event in (time, seq) order, honoring
+// the RunUntil deadline. FIFO entries are always stamped with the current
+// time, so they can only lose to same-time heap entries with older sequence
+// numbers (scheduled before the clock reached this instant) and are always
+// within any active deadline.
+func (e *Engine) popNext() (event, bool) {
+	if e.fifo.len() > 0 {
+		if e.heap.len() > 0 && eventLess(e.heap.items[0], *e.fifo.peek()) {
+			return e.heap.pop(), true
+		}
+		return e.fifo.pop(), true
+	}
+	if e.heap.len() == 0 {
+		return event{}, false
+	}
+	if e.limited && e.heap.items[0].at > e.limit {
+		return event{}, false
+	}
+	return e.heap.pop(), true
 }
 
-// resumeProc hands the simulation thread to p until it parks or terminates.
-func (e *Engine) resumeProc(p *Proc) {
-	if p.done {
+// transferTo hands the simulation baton to p, starting its goroutine on
+// first transfer. The caller must immediately either block on its own
+// resume/driver channel or exit; it may not touch engine state afterwards.
+func (e *Engine) transferTo(p *Proc) {
+	e.running = p
+	if !p.started {
+		p.started = true
+		go p.main()
 		return
 	}
-	e.running = p
 	p.resume <- struct{}{}
-	<-e.ack
+}
+
+// yieldBaton is the parking half of direct handoff: the parking process
+// itself drains callbacks and advances the clock until it meets a process
+// event. Its own wake-up returns without any goroutine switch (the Sleep/
+// Work fast path); another process gets the baton handed over directly (one
+// switch, versus two through a central loop). When nothing is runnable —
+// queue drained, deadline reached, or engine stopped — the baton goes back
+// to the driver and the process stays parked until a later run resumes it.
+func (e *Engine) yieldBaton(p *Proc) {
+	for !e.stopped {
+		ev, ok := e.popNext()
+		if !ok {
+			break
+		}
+		e.now = ev.at
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc == p {
+			e.running = p
+			return
+		}
+		if ev.proc.done {
+			continue
+		}
+		e.transferTo(ev.proc)
+		<-p.resume
+		e.running = p
+		return
+	}
 	e.running = nil
+	e.driverCh <- struct{}{}
+	<-p.resume
+	e.running = p
+}
+
+// exitBaton passes the baton onward as a terminating process goroutine
+// exits: like yieldBaton, but the caller never needs the baton back.
+func (e *Engine) exitBaton() {
+	for !e.stopped {
+		ev, ok := e.popNext()
+		if !ok {
+			break
+		}
+		e.now = ev.at
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc.done {
+			continue
+		}
+		e.transferTo(ev.proc)
+		return
+	}
+	e.running = nil
+	e.driverCh <- struct{}{}
+}
+
+// runLoop drives events from the calling (driver) goroutine until the first
+// handoff to a process, then parks until a process returns the baton. By the
+// time it returns, either the queue has drained (up to any deadline) or the
+// engine has been stopped, and no process holds the baton.
+func (e *Engine) runLoop() {
+	for !e.stopped {
+		ev, ok := e.popNext()
+		if !ok {
+			return
+		}
+		e.now = ev.at
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc.done {
+			continue
+		}
+		e.transferTo(ev.proc)
+		<-e.driverCh
+		return
+	}
 }
 
 // Run executes events until the queue drains or Stop is called, and returns
@@ -154,15 +302,7 @@ func (e *Engine) resumeProc(p *Proc) {
 // considered deadlocked and cause a panic naming them, since that always
 // indicates a modelling bug.
 func (e *Engine) Run() Time {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		if ev.proc != nil {
-			e.resumeProc(ev.proc)
-		} else {
-			ev.fn()
-		}
-	}
+	e.runLoop()
 	if live := e.nprocs - e.ndaemons; !e.stopped && live > 0 {
 		panic(fmt.Sprintf("sim: event queue drained with %d non-daemon process(es) still parked (deadlock)", live))
 	}
@@ -173,18 +313,9 @@ func (e *Engine) Run() Time {
 // clock at the deadline. Parked processes are left in place so the caller can
 // inspect state mid-flight; Run or RunUntil can be called again to continue.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > deadline {
-			break
-		}
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		if ev.proc != nil {
-			e.resumeProc(ev.proc)
-		} else {
-			ev.fn()
-		}
-	}
+	e.limit, e.limited = deadline, true
+	e.runLoop()
+	e.limited = false
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -201,7 +332,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending reports the number of scheduled events, useful in tests.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.heap.len() + e.fifo.len() }
 
 // Shutdown tears the simulation down: every parked process is unwound (its
 // goroutine exits via an internal panic that park() raises), so nothing
@@ -212,14 +343,19 @@ func (e *Engine) Pending() int { return len(e.events) }
 func (e *Engine) Shutdown() {
 	e.stopped = true
 	e.killing = true
-	// Collect first: resuming mutates e.procs.
+	// Collect first: unwinding mutates e.procs. Processes that were spawned
+	// but never started have no goroutine to unwind.
 	var parked []*Proc
 	for p := range e.procs {
-		if !p.done {
+		if p.started && !p.done {
 			parked = append(parked, p)
 		}
 	}
 	for _, p := range parked {
-		e.resumeProc(p)
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.driverCh
 	}
 }

@@ -3,11 +3,13 @@ package sim
 // Proc is a simulation process: a goroutine that the engine resumes one at a
 // time. A Proc is created with Engine.Spawn and runs until its body returns.
 type Proc struct {
-	name   string
-	eng    *Engine
-	resume chan struct{}
-	done   bool
-	daemon bool
+	name    string
+	eng     *Engine
+	fn      func(*Env)
+	resume  chan struct{}
+	started bool
+	done    bool
+	daemon  bool
 
 	// Done fires (with a nil value) when the process body returns.
 	Done *Signal
@@ -17,6 +19,33 @@ type Proc struct {
 	// (e.g. the filesystem write-path share of the snapshot process,
 	// Table 2 of the paper).
 	busy map[string]Duration
+}
+
+// main is the body of the process goroutine, started lazily on the first
+// transfer of the simulation baton to this process. On return — normal or
+// via the Shutdown unwind — it does the termination bookkeeping and passes
+// the baton onward.
+func (p *Proc) main() {
+	e := p.eng
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); !ok {
+				panic(r)
+			}
+		}
+		p.done = true
+		e.nprocs--
+		if p.daemon {
+			e.ndaemons--
+		}
+		delete(e.procs, p)
+		if !p.Done.Fired() {
+			p.Done.Fire(nil)
+		}
+		e.exitBaton()
+	}()
+	env := &Env{p: p, eng: e}
+	p.fn(env)
 }
 
 // Name returns the process name given at Spawn.
@@ -53,12 +82,12 @@ func (env *Env) Proc() *Proc { return env.p }
 // Now reports the current virtual time.
 func (env *Env) Now() Time { return env.eng.now }
 
-// park yields the simulation thread back to the engine and blocks until some
-// event resumes this process. The caller must already have arranged for a
-// wake-up (a scheduled event, a resource grant, a signal subscription, ...).
+// park yields the simulation baton and blocks until some event resumes this
+// process. The caller must already have arranged for a wake-up (a scheduled
+// event, a resource grant, a signal subscription, ...). The baton is handed
+// directly to whatever runs next — see Engine.yieldBaton.
 func (env *Env) park() {
-	env.eng.ack <- struct{}{}
-	<-env.p.resume
+	env.eng.yieldBaton(env.p)
 	if env.eng.killing {
 		panic(procKilled{})
 	}

@@ -8,7 +8,9 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	// waiters is a ring, not a `w = w[1:]` slice: the backing array is
+	// reused forever, so steady-state acquire/release never allocates.
+	waiters ring[*Proc]
 
 	// contention statistics
 	acquisitions int64
@@ -28,13 +30,13 @@ func NewResource(eng *Engine, capacity int) *Resource {
 // Acquire blocks the calling process until a slot is available and takes it.
 func (r *Resource) Acquire(env *Env) {
 	r.acquisitions++
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.len() == 0 {
 		r.inUse++
 		return
 	}
 	r.waited++
 	start := env.Now()
-	r.waiters = append(r.waiters, env.p)
+	r.waiters.push(env.p)
 	env.park()
 	// The releaser transferred the slot to us (inUse stays counted).
 	r.waitTime += env.Now().Sub(start)
@@ -42,7 +44,7 @@ func (r *Resource) Acquire(env *Env) {
 
 // TryAcquire takes a slot if one is free, without blocking.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.len() == 0 {
 		r.inUse++
 		r.acquisitions++
 		return true
@@ -56,11 +58,9 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of un-acquired Resource")
 	}
-	if len(r.waiters) > 0 {
+	if r.waiters.len() > 0 {
 		// Transfer the slot: inUse is unchanged, the waiter now holds it.
-		p := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		r.eng.wakeAt(r.eng.now, p)
+		r.eng.wakeAt(r.eng.now, r.waiters.pop())
 		return
 	}
 	r.inUse--
@@ -70,7 +70,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of parked waiters.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // Acquisitions reports the total number of Acquire/TryAcquire grants
 // attempted (successful TryAcquire and every Acquire).

@@ -1,0 +1,54 @@
+package sim
+
+// ring is a growable circular FIFO. Unlike the append/reslice idiom
+// (`q = q[1:]` + `append`), a ring reuses its backing array forever, so
+// steady-state push/pop is allocation-free — which matters because every
+// wakeup on the simulator's hot path flows through one of these (the
+// engine's same-timestamp queue, Resource waiter lists, Queue items).
+// The backing array length is always a power of two so index wrapping is a
+// mask, not a division.
+type ring[T any] struct {
+	buf  []T
+	head int
+	size int
+}
+
+// len reports the number of queued items.
+func (r *ring[T]) len() int { return r.size }
+
+// push appends v at the tail.
+func (r *ring[T]) push(v T) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = v
+	r.size++
+}
+
+// pop removes and returns the head. Caller must check len() first.
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	if r.size == 0 {
+		r.head = 0
+	}
+	return v
+}
+
+// peek returns a pointer to the head element. Caller must check len() first.
+func (r *ring[T]) peek() *T { return &r.buf[r.head] }
+
+func (r *ring[T]) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]T, n)
+	for i := 0; i < r.size; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}

@@ -5,10 +5,14 @@ package sim
 // every later Wait return immediately. Fire may be called from a process or
 // from an engine callback.
 type Signal struct {
-	eng     *Engine
-	fired   bool
-	val     any
-	waiters []*Proc
+	eng   *Engine
+	fired bool
+	val   any
+	// w0 inlines the first waiter: almost every Signal (request completion,
+	// Proc.Done) has exactly one, and the inline slot means the common case
+	// never allocates a waiter slice.
+	w0   *Proc
+	more []*Proc
 }
 
 // NewSignal returns an unfired signal bound to eng.
@@ -28,10 +32,14 @@ func (s *Signal) Fire(val any) {
 	}
 	s.fired = true
 	s.val = val
-	for _, p := range s.waiters {
+	if s.w0 != nil {
+		s.eng.wakeAt(s.eng.now, s.w0)
+		s.w0 = nil
+	}
+	for _, p := range s.more {
 		s.eng.wakeAt(s.eng.now, p)
 	}
-	s.waiters = nil
+	s.more = nil
 }
 
 // Wait blocks the calling process until the signal fires and returns the
@@ -40,7 +48,11 @@ func (s *Signal) Wait(env *Env) any {
 	if s.fired {
 		return s.val
 	}
-	s.waiters = append(s.waiters, env.p)
+	if s.w0 == nil && len(s.more) == 0 {
+		s.w0 = env.p
+	} else {
+		s.more = append(s.more, env.p)
+	}
 	env.park()
 	return s.val
 }
@@ -61,12 +73,14 @@ func (b *Broadcast) Wait(env *Env) {
 	env.park()
 }
 
-// Notify wakes every currently waiting process.
+// Notify wakes every currently waiting process. The backing array is kept
+// for reuse: wake-ups are queued events, so no waiter re-registers before
+// the loop finishes.
 func (b *Broadcast) Notify() {
 	for _, p := range b.waiters {
 		b.eng.wakeAt(b.eng.now, p)
 	}
-	b.waiters = nil
+	b.waiters = b.waiters[:0]
 }
 
 // Waiting reports how many processes are parked on b.
@@ -77,8 +91,8 @@ func (b *Broadcast) Waiting() int { return len(b.waiters) }
 // while the queue is empty.
 type Queue[T any] struct {
 	eng     *Engine
-	items   []T
-	waiters []*Proc
+	items   ring[T]
+	waiters ring[*Proc]
 	closed  bool
 }
 
@@ -86,7 +100,7 @@ type Queue[T any] struct {
 func NewQueue[T any](eng *Engine) *Queue[T] { return &Queue[T]{eng: eng} }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Push appends an item and wakes one waiter, if any. Push may be called from
 // a process or from an engine callback. Pushing to a closed queue panics.
@@ -94,7 +108,7 @@ func (q *Queue[T]) Push(item T) {
 	if q.closed {
 		panic("sim: push to closed Queue")
 	}
-	q.items = append(q.items, item)
+	q.items.push(item)
 	q.wakeOne()
 }
 
@@ -102,41 +116,35 @@ func (q *Queue[T]) Push(item T) {
 // further Pops return ok=false. All current waiters are woken.
 func (q *Queue[T]) Close() {
 	q.closed = true
-	for len(q.waiters) > 0 {
+	for q.waiters.len() > 0 {
 		q.wakeOne()
 	}
 }
 
 func (q *Queue[T]) wakeOne() {
-	if len(q.waiters) == 0 {
+	if q.waiters.len() == 0 {
 		return
 	}
-	p := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	q.eng.wakeAt(q.eng.now, p)
+	q.eng.wakeAt(q.eng.now, q.waiters.pop())
 }
 
 // Pop removes and returns the oldest item, blocking while the queue is
 // empty. It returns ok=false only when the queue is closed and drained.
 func (q *Queue[T]) Pop(env *Env) (item T, ok bool) {
-	for len(q.items) == 0 {
+	for q.items.len() == 0 {
 		if q.closed {
 			return item, false
 		}
-		q.waiters = append(q.waiters, env.p)
+		q.waiters.push(env.p)
 		env.park()
 	}
-	item = q.items[0]
-	q.items = q.items[1:]
-	return item, true
+	return q.items.pop(), true
 }
 
 // TryPop removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryPop() (item T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return item, false
 	}
-	item = q.items[0]
-	q.items = q.items[1:]
-	return item, true
+	return q.items.pop(), true
 }

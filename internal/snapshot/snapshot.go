@@ -56,6 +56,14 @@ type Writer struct {
 	rawTotal  int64
 	compTotal int64
 	closed    bool
+
+	// Per-chunk scratch, reused across flushes. fw.Reset is documented to
+	// make the writer equivalent to a fresh NewWriter, so reuse changes no
+	// output byte. frame reuse is safe because every sink consumes the
+	// chunk before Write returns (page cache and slot tail both copy).
+	fw    *flate.Writer
+	cbuf  bytes.Buffer
+	frame []byte
 }
 
 // NewWriter builds a Writer emitting chunks through emit. chunkSize <= 0
@@ -91,31 +99,36 @@ func (w *Writer) flushChunk() error {
 		return nil
 	}
 	raw := w.pending
-	w.pending = nil
 
-	var cbuf bytes.Buffer
-	fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
-	if err != nil {
+	w.cbuf.Reset()
+	if w.fw == nil {
+		fw, err := flate.NewWriter(&w.cbuf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		w.fw = fw
+	} else {
+		w.fw.Reset(&w.cbuf)
+	}
+	if _, err := w.fw.Write(raw); err != nil {
 		return err
 	}
-	if _, err := fw.Write(raw); err != nil {
+	if err := w.fw.Close(); err != nil {
 		return err
 	}
-	if err := fw.Close(); err != nil {
-		return err
-	}
-	comp := cbuf.Bytes()
+	comp := w.cbuf.Bytes()
 
-	frame := make([]byte, 0, 16+len(comp))
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(raw)))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(comp)))
 	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(comp))
-	frame = append(frame, hdr[:]...)
+	frame := append(w.frame[:0], hdr[:]...)
 	frame = append(frame, comp...)
+	w.frame = frame
 
 	w.rawTotal += int64(len(raw))
 	w.compTotal += int64(len(comp))
+	w.pending = w.pending[:0]
 	return w.emit(frame, len(raw))
 }
 

@@ -131,10 +131,20 @@ type Buffer struct {
 	buf      []byte
 	records  int
 	appended int64 // lifetime bytes appended, for WAL-snapshot triggering
+	sizeHint int   // largest drained size seen: presize to skip regrowth
 }
 
 // Append frames a record into the buffer.
 func (b *Buffer) Append(op Op, key, value []byte) {
+	if b.buf == nil && b.sizeHint > 0 {
+		// Drain hands the previous backing array to the caller, so each
+		// fill cycle starts from nil; presizing to the previous drained
+		// size avoids re-paying the append-grow copies every cycle. The
+		// hint tracks the last drain, not the maximum: drain sizes vary
+		// wildly between threshold-driven and idle-driven cycles, and a
+		// sticky maximum would zero a worst-case buffer every cycle.
+		b.buf = make([]byte, 0, b.sizeHint)
+	}
 	before := len(b.buf)
 	b.buf = AppendRecord(b.buf, op, key, value)
 	b.records++
@@ -154,6 +164,7 @@ func (b *Buffer) AppendedTotal() int64 { return b.appended }
 // is owned by the caller.
 func (b *Buffer) Drain() []byte {
 	out := b.buf
+	b.sizeHint = len(out)
 	b.buf = nil
 	b.records = 0
 	return out

@@ -9,11 +9,31 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
 )
+
+// formatKey renders k as a zero-padded decimal of exactly width bytes
+// (wider only when the digits don't fit), matching
+// fmt.Sprintf("%0*d", width, k) for k >= 0 without fmt's per-call boxing —
+// this runs once per simulated operation.
+func formatKey(width int, k int64) string {
+	var tmp [20]byte
+	digits := strconv.AppendInt(tmp[:0], k, 10)
+	if len(digits) >= width {
+		return string(digits)
+	}
+	out := make([]byte, width)
+	pad := width - len(digits)
+	for i := 0; i < pad; i++ {
+		out[i] = '0'
+	}
+	copy(out[pad:], digits)
+	return string(out)
+}
 
 // Distribution selects the key popularity distribution.
 type Distribution int
@@ -206,7 +226,7 @@ func (c *client) key() string {
 	default:
 		k = c.rng.Int63n(cfg.KeyRange)
 	}
-	return fmt.Sprintf("%0*d", cfg.KeySize, k)
+	return formatKey(cfg.KeySize, k)
 }
 
 func (c *client) run(env *sim.Env) {
@@ -246,7 +266,7 @@ func (c *client) run(env *sim.Env) {
 func Preload(env *sim.Env, db *imdb.Engine, cfg Config) error {
 	pool := valuePool(max(cfg.ValuePoolSize, 16), cfg.ValueSize, cfg.Seed^0x10ad)
 	for i := int64(0); i < cfg.KeyRange; i++ {
-		key := fmt.Sprintf("%0*d", cfg.KeySize, i)
+		key := formatKey(cfg.KeySize, i)
 		if err := db.Set(env, key, pool[i%int64(len(pool))]); err != nil {
 			return err
 		}

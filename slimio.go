@@ -158,6 +158,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	dev := ssd.New(ftl, ssd.Config{})
 	eng := sim.NewEngine()
+	arr.SetClock(eng)
 	be, err := core.New(eng, dev, cfg.Backend)
 	if err != nil {
 		return nil, err
