@@ -1,7 +1,7 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
 PR ?= 2
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke lint
 
 build:
 	go build ./...
@@ -11,6 +11,23 @@ test:
 
 race:
 	go test -race ./...
+
+# Single local lint entry point, mirrored by the CI lint job: formatting,
+# the stock vet suite, the repo's own determinism-contract suite
+# (cmd/slimio-vet; see DESIGN.md "Determinism contract"), and — when the
+# tool and network are available — govulncheck (advisory, never blocking).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
+	go run ./cmd/slimio-vet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck reported findings (non-blocking)"; \
+	else \
+		echo "govulncheck not installed; skipping (non-blocking)"; \
+	fi
 
 # Regenerate every table/figure at small scale and record per-experiment
 # wall-clock, allocator traffic, and virtual-time throughput. The snapshot

@@ -1,0 +1,176 @@
+// The `go vet -vettool` protocol: the go command invokes the tool once per
+// compilation unit with a JSON config file describing the unit (sources,
+// export-data files for every dependency, fact-file plumbing). This file
+// reimplements the subset of x/tools' unitchecker that slimio-vet needs —
+// the suite defines no cross-package facts, so the fact files are empty
+// placeholders written only to satisfy the protocol.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/slimio/slimio/internal/analysis/load"
+	"github.com/slimio/slimio/internal/analysis/suite"
+)
+
+// vetConfig mirrors the fields of the go command's vet config JSON that the
+// suite consumes (the full struct is internal to cmd/go; unknown fields are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheckerMain(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+
+	// The protocol requires a fact file even from fact-free tools.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Dependencies are analyzed only for facts (we have none), and test
+	// variants (ID "p [p.test]", the generated p.test main, p_test) are out
+	// of contract: tests may use wall clocks and goroutines freely.
+	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") ||
+		strings.HasSuffix(cfg.ImportPath, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return base.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatal(err)
+	}
+
+	findings, err := suite.RunPackage(&load.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx()
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slimio-vet:", err)
+	os.Exit(1)
+}
+
+// versionFlag implements the -V=full handshake go vet uses to fingerprint
+// vet tools for build caching, in the same output format as x/tools'
+// unitchecker: "<executable> version devel comments-go-here buildID=<sha256>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseAllowComments(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func a() {
+	//slimio:allow wallclock progress banner only
+	_ = 1
+	_ = 2 //slimio:allow maporder trailing form
+	//slimio:allowance not a directive
+	//slimio:allow
+	//slimio:allow floatfold
+}
+`)
+	acs := ParseAllowComments(fset, f)
+	if len(acs) != 4 {
+		t.Fatalf("got %d directives, want 4: %+v", len(acs), acs)
+	}
+	if acs[0].Pass != "wallclock" || acs[0].Reason != "progress banner only" {
+		t.Errorf("directive 0 = %+v", acs[0])
+	}
+	if acs[1].Pass != "maporder" || acs[1].Reason != "trailing form" || acs[1].Line != 6 {
+		t.Errorf("directive 1 = %+v", acs[1])
+	}
+	if acs[2].Pass != "" { // bare //slimio:allow
+		t.Errorf("directive 2 = %+v", acs[2])
+	}
+	if acs[3].Pass != "floatfold" || acs[3].Reason != "" {
+		t.Errorf("directive 3 = %+v", acs[3])
+	}
+}
+
+func TestNewSuppressionsMalformed(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func a() {
+	//slimio:allow
+	//slimio:allow nosuchpass because reasons
+	//slimio:allow wallclock
+	//slimio:allow wallclock a fine reason
+	_ = 1
+}
+`)
+	known := map[string]bool{"wallclock": true, "maporder": true}
+	supp, bad := NewSuppressions(fset, []*ast.File{f}, known)
+	if len(bad) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3: %+v", len(bad), bad)
+	}
+	for i, wantSub := range []string{"malformed", "unknown pass", "needs a reason"} {
+		if !strings.Contains(bad[i].Message, wantSub) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, bad[i].Message, wantSub)
+		}
+	}
+	// The valid directive on line 7 suppresses wallclock on lines 7 and 8
+	// (same line or the line below it), and nothing else.
+	linePos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !supp.Allowed(fset, "wallclock", linePos(7)) {
+		t.Error("same-line suppression did not apply")
+	}
+	if !supp.Allowed(fset, "wallclock", linePos(8)) {
+		t.Error("line-above suppression did not apply")
+	}
+	if supp.Allowed(fset, "maporder", linePos(8)) {
+		t.Error("suppression leaked to a different pass")
+	}
+	if supp.Allowed(fset, "wallclock", linePos(9)) {
+		t.Error("suppression leaked two lines down")
+	}
+}

@@ -1,0 +1,146 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line carrying an expected diagnostic gets a trailing comment
+//
+//	code() // want "regexp" "another regexp"
+//
+// where each quoted string is a regular expression that must match the
+// message of exactly one diagnostic reported on that line. Diagnostics with
+// no matching want, and wants with no matching diagnostic, fail the test.
+//
+// //slimio:allow suppression is applied exactly as the slimio-vet driver
+// applies it, so a fixture can prove the suppression path works by pairing
+// a violating line with an allow comment and no want. Malformed allow
+// directives surface as diagnostics from the pseudo-pass "allow" and can be
+// asserted with want comments too.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis"
+	"github.com/slimio/slimio/internal/analysis/load"
+)
+
+// Run loads the fixture package at pattern (a directory path relative to
+// the test's working directory, e.g. "./testdata/src/a") and applies a.
+func Run(t *testing.T, pattern string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load("", pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, pkg, a)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkPackage(t *testing.T, pkg *load.Package, a *analysis.Analyzer) {
+	t.Helper()
+
+	wants := collectWants(t, pkg)
+
+	known := map[string]bool{a.Name: true}
+	supp, malformed := analysis.NewSuppressions(pkg.Fset, pkg.Files, known)
+
+	var findings []analysis.Finding
+	record := func(name string, d analysis.Diagnostic) {
+		p := pkg.Fset.Position(d.Pos)
+		findings = append(findings, analysis.Finding{
+			Analyzer: name, Pos: p, File: p.Filename, Line: p.Line, Col: p.Column,
+			Message: d.Message,
+		})
+	}
+	for _, d := range malformed {
+		record("allow", d)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			if supp.Allowed(pkg.Fset, a.Name, d.Pos) {
+				return
+			}
+			record(a.Name, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		if !claimWant(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s matching %q", a.Name, key, w.re)
+			}
+		}
+	}
+}
+
+func claimWant(wants map[string][]*want, f analysis.Finding) bool {
+	key := fmt.Sprintf("%s:%d", f.File, f.Line)
+	for _, w := range wants[key] {
+		if !w.matched && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE tokenizes the expectation list: double-quoted or backquoted Go
+// string literals, each holding one regexp.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants scans fixture comments for `// want "re"...` expectations.
+func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, unq, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,12 @@
+package floatfold_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/floatfold"
+)
+
+func TestFloatfold(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", floatfold.Analyzer)
+}

@@ -1,0 +1,69 @@
+// Fixture for the floatfold pass: float accumulation in map order fires
+// (compound and spelled-out forms, locals and fields), integer folds and
+// slice iteration do not, and //slimio:allow suppresses.
+package a
+
+func badSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation`
+	}
+	return total
+}
+
+func badSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation`
+	}
+	return total
+}
+
+func badProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation`
+	}
+	return p
+}
+
+type stats struct{ mean float64 }
+
+func badField(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.mean += v / float64(len(m)) // want `floating-point accumulation`
+	}
+}
+
+func goodIntegers(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m { // integer addition is exact in any order
+		total += v
+	}
+	return total
+}
+
+func goodSlice(vals []float64) float64 {
+	var total float64
+	for _, v := range vals { // slice order is fixed; fold order is stable
+		total += v
+	}
+	return total
+}
+
+func goodNonFold(m map[string]float64) float64 {
+	var last float64
+	for _, v := range m {
+		last = v * 2 // overwrite, not accumulation (still order-dependent, but not a fold)
+	}
+	return last
+}
+
+func allowed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//slimio:allow floatfold fixture: proves the suppression path works
+		total += v
+	}
+	return total
+}

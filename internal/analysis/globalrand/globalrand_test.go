@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", globalrand.Analyzer)
+}

@@ -1,0 +1,37 @@
+// Fixture for the globalrand pass: global-source draws and crypto/rand
+// fire, explicitly seeded sources do not, and //slimio:allow suppresses.
+package a
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic`
+	"math/rand"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand.Intn draws from the process-global source`
+	_ = rand.Int()                     // want `rand.Int draws from the process-global source`
+	_ = rand.Float64()                 // want `rand.Float64 draws from the process-global source`
+	_ = rand.Int63n(7)                 // want `rand.Int63n draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // the import itself is the finding
+}
+
+func badReference() {
+	f := rand.Float64 // want `rand.Float64 draws from the process-global source`
+	_ = f
+}
+
+func good() {
+	// The constructors build the explicitly seeded sources the contract
+	// requires; drawing from r is deterministic.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+}
+
+func allowed() {
+	//slimio:allow globalrand fixture: proves the suppression path works
+	_ = rand.Int()
+}

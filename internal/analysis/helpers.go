@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFuncRef resolves expr as a reference to a package-level function or
+// variable of an imported package (e.g. the `time.Now` in `time.Now()` or
+// in `f := time.Now`). It returns the package path and object name, or
+// ("", "") when expr is not such a reference.
+func PkgFuncRef(info *types.Info, expr ast.Expr) (pkgPath, name string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if _, isPkg := info.Uses[ident].(*types.PkgName); !isPkg {
+		return "", ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// NamedTypePath resolves t (through pointers and aliases) to a named type's
+// package path and name, or ("", "") for unnamed types.
+func NamedTypePath(t types.Type) (pkgPath, name string) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// IsMapType reports whether expr's type (per info) is a map.
+func IsMapType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsFloat reports whether expr's type (per info) has a floating-point
+// underlying kind.
+func IsFloat(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Imports reports whether the file imports the given path, returning the
+// import spec when it does.
+func Imports(file *ast.File, path string) (*ast.ImportSpec, bool) {
+	for _, imp := range file.Imports {
+		if imp.Path != nil && imp.Path.Value == `"`+path+`"` {
+			return imp, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,138 @@
+// Package maporder flags map iteration that feeds order-sensitive sinks.
+package maporder
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/slimio/slimio/internal/analysis"
+)
+
+// Doc's first line is the summary; the rest is the -explain rationale.
+const Doc = `flag range-over-map whose body feeds ordered output or schedules events
+
+Go randomizes map iteration order on purpose. A loop over a map that appends
+to a slice, writes to a stream (fmt.Fprintf, Write, Encode), sends on a
+channel, or schedules simulation events therefore produces a different
+ordering every run — exactly the nondeterminism the bit-identical-output
+contract forbids, and the kind that one determinism test on one workload
+will not catch. The fix is to make ordering a contract: collect the keys,
+sort them, and iterate the sorted slice. A body consisting solely of
+"keys = append(keys, k)" (collecting loop variables for a later sort) is
+recognized as that idiom and not flagged. Copying into another map or
+deleting entries is order-insensitive and also fine.
+Suppress an intentional exception with //slimio:allow maporder <reason>.`
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  Doc,
+	Run:  run,
+}
+
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": false, // Sprint* build values, not emit them; leave to the sink that prints them
+}
+
+var streamMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !analysis.IsMapType(pass.TypesInfo, rng.X) {
+			return true
+		}
+		if isKeyCollection(rng) {
+			return true
+		}
+		if sink := findSink(pass, rng); sink != "" {
+			pass.Reportf(rng.Pos(),
+				"map iteration order is random but the loop body %s; sort the keys first and range over the sorted slice", sink)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isKeyCollection recognizes the collect-then-sort idiom: the whole loop
+// body is a single `s = append(s, k)` (or `append(s, k, v)`) whose appended
+// arguments are exactly the loop variables.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	loopVars := map[string]bool{}
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok {
+			loopVars[id.Name] = true
+		}
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || !loopVars[id.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// findSink scans the loop body for the first order-sensitive side effect and
+// describes it ("" when the body is order-insensitive).
+func findSink(pass *analysis.Pass, rng *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+						sink = "appends to a slice"
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if pkg, name := analysis.PkgFuncRef(pass.TypesInfo, n.Fun); pkg == "fmt" && fmtPrinters[name] {
+				sink = "writes formatted output (fmt." + name + ")"
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				switch {
+				case streamMethods[name]:
+					sink = "writes to a stream (." + name + ")"
+				case strings.HasPrefix(name, "Spawn") || strings.HasPrefix(name, "Schedule"):
+					sink = "schedules simulation work (." + name + ")"
+				}
+			}
+		}
+		return sink == ""
+	})
+	return sink
+}

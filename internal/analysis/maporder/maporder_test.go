@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", maporder.Analyzer)
+}

@@ -1,0 +1,12 @@
+package rawgoroutine_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/rawgoroutine"
+)
+
+func TestRawgoroutine(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", rawgoroutine.Analyzer)
+}

@@ -1,0 +1,36 @@
+// Fixture for the rawgoroutine pass: go statements and the forbidden
+// concurrency/timer types fire, sim-style cooperative code does not, and
+// //slimio:allow suppresses.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type poller struct {
+	tick *time.Ticker // want `time.Ticker`
+	wake *time.Timer  // want `time.Timer`
+}
+
+func bad() {
+	var wg sync.WaitGroup // want `sync.WaitGroup`
+	go func() {}()        // want `raw go statement`
+	wg.Wait()
+}
+
+func badParam(wg *sync.WaitGroup) { // want `sync.WaitGroup`
+	wg.Done()
+}
+
+func good() {
+	// Mutexes guard shared counters without ordering events; they stay legal.
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+func allowed() {
+	//slimio:allow rawgoroutine fixture: proves the suppression path works
+	go func() {}()
+}

@@ -1,0 +1,40 @@
+// Fixture for the wallclock pass: every host-clock observation fires, pure
+// duration arithmetic does not, and //slimio:allow suppresses.
+package a
+
+import "time"
+
+var sink time.Time
+
+func bad() {
+	sink = time.Now()             // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)  // want `time.Sleep reads the wall clock`
+	_ = time.Since(sink)          // want `time.Since reads the wall clock`
+	_ = time.Until(sink)          // want `time.Until reads the wall clock`
+	<-time.After(time.Second)     // want `time.After reads the wall clock`
+	t := time.NewTimer(time.Hour) // want `time.NewTimer reads the wall clock`
+	t.Stop()
+	k := time.NewTicker(time.Hour) // want `time.NewTicker reads the wall clock`
+	k.Stop()
+	time.AfterFunc(time.Hour, func() {}) // want `time.AfterFunc reads the wall clock`
+}
+
+func reference() {
+	// A bare reference (no call) leaks the clock just as well.
+	f := time.Now // want `time.Now reads the wall clock`
+	_ = f
+}
+
+func good() {
+	// Duration arithmetic and formatting never read the clock.
+	d := 5 * time.Millisecond
+	_ = d.Seconds()
+	_ = time.Duration(42).String()
+	_ = time.Unix(0, 0) // constructing a fixed instant is deterministic
+}
+
+func allowed() {
+	//slimio:allow wallclock fixture: proves the suppression path works
+	sink = time.Now()
+	_ = time.Since(sink) //slimio:allow wallclock trailing same-line directive also suppresses
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", wallclock.Analyzer)
+}

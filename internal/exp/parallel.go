@@ -34,10 +34,12 @@ func runCells(n, parallel int, job func(i int) error) error {
 	}
 	errs := make([]error, n)
 	sem := make(chan struct{}, parallel)
+	//slimio:allow rawgoroutine the sanctioned worker pool: each job is a sealed deterministic cell, outputs land in preallocated slots
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		sem <- struct{}{}
 		wg.Add(1)
+		//slimio:allow rawgoroutine cells share no simulation state; parallelism here cannot reorder any cell's events
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()

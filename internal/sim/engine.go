@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // event is a single scheduled occurrence. Exactly one of fn or proc is set:
 // fn events run inline on whichever goroutine currently drives the
@@ -111,6 +114,7 @@ type Engine struct {
 	// while the driver is executing callbacks.
 	running  *Proc
 	procs    map[*Proc]struct{}
+	spawnSeq int64
 	nprocs   int
 	ndaemons int
 	stopped  bool
@@ -153,10 +157,12 @@ func (e *Engine) wakeAt(t Time, p *Proc) { e.schedule(t, nil, p) }
 // Spawn creates a process executing fn and schedules it to start now.
 // Processes run one at a time; fn must yield only through sim primitives.
 func (e *Engine) Spawn(name string, fn func(*Env)) *Proc {
+	e.spawnSeq++
 	p := &Proc{
 		name:   name,
 		eng:    e,
 		fn:     fn,
+		seq:    e.spawnSeq,
 		resume: make(chan struct{}),
 		Done:   NewSignal(e),
 	}
@@ -208,7 +214,7 @@ func (e *Engine) transferTo(p *Proc) {
 	e.running = p
 	if !p.started {
 		p.started = true
-		go p.main()
+		go p.main() //slimio:allow rawgoroutine the engine itself implements processes as baton-passing goroutines; exactly one is ever runnable
 		return
 	}
 	p.resume <- struct{}{}
@@ -343,16 +349,18 @@ func (e *Engine) Pending() int { return e.heap.len() + e.fifo.len() }
 func (e *Engine) Shutdown() {
 	e.stopped = true
 	e.killing = true
-	// Collect first: unwinding mutates e.procs. Processes that were spawned
-	// but never started have no goroutine to unwind.
-	var parked []*Proc
+	// Collect first: unwinding mutates e.procs. Unwind in spawn order, not
+	// map order, so teardown (and anything a process does while dying) is
+	// as deterministic as the run itself.
+	parked := make([]*Proc, 0, len(e.procs))
 	for p := range e.procs {
-		if p.started && !p.done {
-			parked = append(parked, p)
-		}
+		parked = append(parked, p)
 	}
+	sort.Slice(parked, func(i, j int) bool { return parked[i].seq < parked[j].seq })
 	for _, p := range parked {
-		if p.done {
+		// Processes that were spawned but never started have no goroutine
+		// to unwind; earlier unwinds may also have completed later procs.
+		if !p.started || p.done {
 			continue
 		}
 		p.resume <- struct{}{}

@@ -6,6 +6,7 @@ type Proc struct {
 	name    string
 	eng     *Engine
 	fn      func(*Env)
+	seq     int64 // spawn order, the deterministic teardown ordering
 	resume  chan struct{}
 	started bool
 	done    bool

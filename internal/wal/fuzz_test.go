@@ -52,7 +52,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(stream(5))
 	f.Add(append(stream(2), make([]byte, 64)...))
 	f.Add(append(stream(3), 0xA5, 0x01, 0xFF))
-	f.Add(stream(4)[:37]) // torn mid-frame
+	f.Add(stream(4)[:37])                                                             // torn mid-frame
 	f.Add([]byte{recordMagic, 1, 255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0}) // absurd lengths
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, prefix, corrupt := DecodeStream(data)
