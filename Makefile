@@ -1,7 +1,7 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
 PR ?= 2
 
-.PHONY: build test race bench bench-smoke lint
+.PHONY: build test race bench bench-smoke trace-smoke lint
 
 build:
 	go build ./...
@@ -39,3 +39,10 @@ bench:
 # benchmark-only regressions cheaply (used by CI).
 bench-smoke:
 	go test -short -run XXX -bench . -benchtime=1x ./...
+
+# Run a tiny traced cell end to end, export the Chrome trace-event JSON,
+# and validate it against the trace-event schema (used by CI, which also
+# uploads the trace as an artifact).
+trace-smoke:
+	go run ./cmd/slimio-bench -exp table3 -scale tiny -vtrace trace-smoke.json
+	go run ./cmd/slimio-inspect -validate trace-smoke.json

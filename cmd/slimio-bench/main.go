@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,13 +20,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
 	"github.com/slimio/slimio/internal/exp"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 func main() {
@@ -37,9 +38,10 @@ func main() {
 		ops     = flag.Int64("ops", 0, "override operations per repetition")
 		reps    = flag.Int("reps", 0, "override repetitions")
 		trigger = flag.Int64("trigger", 0, "override WAL-snapshot trigger in MiB")
-		window  = flag.Duration("window", 0, "override figure 4/5 window (virtual time)")
+		window  = exp.SimDurationFlag("window", 0, "override figure 4/5 window (virtual time)")
 
 		parallel   = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		vtraceOut  = flag.String("vtrace", "", "trace the run and write a Chrome trace-event JSON file (requires a single -exp)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall-clock/allocs/throughput records to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -99,7 +101,7 @@ func main() {
 	}
 	figWindow := 3 * sim.Second
 	if *window > 0 {
-		figWindow = sim.Duration(window.Nanoseconds())
+		figWindow = *window
 	}
 	ctr := &metrics.Counter{}
 	sc.FaultSeed = *faultSeed
@@ -117,6 +119,17 @@ func main() {
 			}
 		}
 		return false
+	}
+
+	if *vtraceOut != "" {
+		// One registry per run: tracer labels are per-cell, and reusing a
+		// label across experiments would interleave unrelated runs in one
+		// lane, so tracing is limited to a single experiment.
+		if len(wanted) != 1 || wanted[0] == "all" {
+			fmt.Fprintln(os.Stderr, "-vtrace requires exactly one -exp experiment")
+			os.Exit(2)
+		}
+		sc.Trace = vtrace.NewRegistry()
 	}
 
 	start := time.Now()
@@ -159,6 +172,12 @@ func main() {
 	run("fig4", func() (fmt.Stringer, error) { return runFigure(4, sc, figWindow) })
 	run("fig5", func() (fmt.Stringer, error) { return runFigure(5, sc, figWindow) })
 	printFaultCounters(ctr)
+	if sc.Trace != nil {
+		if err := writeTrace(*vtraceOut, sc.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
 
 	if *benchJSON != "" {
@@ -239,20 +258,32 @@ func virtualRPS(out fmt.Stringer) float64 {
 // them (retries, retired blocks, migrations, lost pages) across every
 // experiment that ran. Silent when nothing was injected or counted.
 func printFaultCounters(ctr *metrics.Counter) {
-	snap := ctr.Snapshot()
-	if len(snap) == 0 {
+	kvs := ctr.Sorted()
+	if len(kvs) == 0 {
 		return
 	}
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	fmt.Println("Fault & error-handling counters (all experiments):")
-	for _, name := range names {
-		fmt.Printf("  %-24s %d\n", name, snap[name])
+	for _, kv := range kvs {
+		fmt.Printf("  %-24s %d\n", kv.Key, kv.Value)
 	}
 	fmt.Println()
+}
+
+// writeTrace exports the run's span registry as Chrome trace-event JSON,
+// validating it against the trace-event schema before writing.
+func writeTrace(path string, reg *vtrace.Registry) error {
+	var buf bytes.Buffer
+	if err := reg.Export(&buf); err != nil {
+		return fmt.Errorf("export trace: %w", err)
+	}
+	if err := vtrace.ValidateTrace(buf.Bytes()); err != nil {
+		return fmt.Errorf("exported trace failed validation: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %d cells)\n", path, buf.Len(), len(reg.Labels()))
+	return nil
 }
 
 type figureReport struct {

@@ -8,17 +8,22 @@
 //	slimio-inspect                  # SlimIO on FDP, tiny scenario
 //	slimio-inspect -kind slimio-noFDP
 //	slimio-inspect -scale small -ops 30000
+//	slimio-inspect -spans           # also trace the run and print the
+//	                                # span summary + latency attribution
+//	slimio-inspect -validate t.json # check a trace-event file and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/slimio/slimio/internal/exp"
 	"github.com/slimio/slimio/internal/fdp"
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/workload"
 )
 
@@ -27,8 +32,24 @@ func main() {
 		kindName = flag.String("kind", "slimio-fdp", "stack: slimio-fdp or slimio-noFDP")
 		scale    = flag.String("scale", "tiny", "scale preset: tiny or small")
 		ops      = flag.Int64("ops", 0, "override operations")
+		spans    = flag.Bool("spans", false, "trace the run; print span counts and latency attribution")
+		validate = flag.String("validate", "", "validate a Chrome trace-event JSON file and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := vtrace.ValidateTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid trace-event JSON (%d bytes)\n", *validate, len(data))
+		return
+	}
 
 	sc := exp.TinyScale()
 	if *scale == "small" {
@@ -40,6 +61,9 @@ func main() {
 	kind := exp.SlimIOFDP
 	if *kindName == "slimio-noFDP" {
 		kind = exp.SlimIOConv
+	}
+	if *spans {
+		sc.Trace = vtrace.NewRegistry()
 	}
 
 	res, err := exp.RunCell(exp.CellConfig{
@@ -94,6 +118,48 @@ func main() {
 		printUsage(f.Usage())
 		printWear(f.Array().Wear())
 	}
+
+	if *spans {
+		printSpans(res.Trace)
+	}
+}
+
+// printSpans summarizes the run's trace: span/event volume per layer and
+// the per-layer latency attribution report.
+func printSpans(tr *vtrace.Tracer) {
+	fmt.Printf("\n== spans ==\n")
+	if tr == nil {
+		fmt.Println("(no tracer)")
+		return
+	}
+	perLayer := map[string]int{}
+	for _, s := range tr.Spans() {
+		perLayer[s.Layer]++
+	}
+	fmt.Printf("spans %d, instants %d, dropped %d\n", len(tr.Spans()), len(tr.Events()), tr.Dropped())
+	for _, kv := range sortedCounts(perLayer) {
+		fmt.Printf("  %-10s %d\n", kv.layer, kv.n)
+	}
+	fmt.Printf("\nLatency attribution:\n")
+	fmt.Print(vtrace.Compute(tr).Format())
+}
+
+type layerCount struct {
+	layer string
+	n     int
+}
+
+func sortedCounts(m map[string]int) []layerCount {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]layerCount, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, layerCount{k, m[k]})
+	}
+	return out
 }
 
 func printWear(w nand.WearStats) {

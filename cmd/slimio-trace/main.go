@@ -15,10 +15,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"time"
 
 	"github.com/slimio/slimio/internal/exp"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 func main() {
@@ -26,7 +26,8 @@ func main() {
 		fig    = flag.Int("fig", 4, "figure to regenerate: 4 or 5")
 		scale  = flag.String("scale", "small", "scale preset: tiny or small")
 		outDir = flag.String("out", "", "directory for CSV output (default: stdout)")
-		window = flag.Duration("window", 3*time.Second, "virtual observation window")
+		window = exp.SimDurationFlag("window", 3*sim.Second, "virtual observation window")
+		attrib = flag.Bool("attrib", false, "trace the run and print per-layer latency attribution per system")
 
 		parallel   = flag.Int("parallel", 0, "timeline cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -66,7 +67,10 @@ func main() {
 		sc = exp.TinyScale()
 	}
 	sc.Parallel = *parallel
-	w := sim.Duration(window.Nanoseconds())
+	if *attrib {
+		sc.Trace = vtrace.NewRegistry()
+	}
+	w := *window
 
 	var base, slim *exp.TimelineResult
 	var err error
@@ -103,4 +107,11 @@ func main() {
 	}
 	emit(base)
 	emit(slim)
+
+	if *attrib {
+		for _, tr := range []*exp.TimelineResult{base, slim} {
+			fmt.Printf("\nLatency attribution — %s:\n", tr.Kind)
+			fmt.Print(vtrace.Compute(tr.Trace).Format())
+		}
+	}
 }

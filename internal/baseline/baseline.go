@@ -20,6 +20,24 @@ import (
 	"github.com/slimio/slimio/internal/wal"
 )
 
+// span opens a baseline-layer span parented on the tracer's current scope
+// and shifts the scope into it, so the kernelio syscall spans underneath
+// nest correctly. The returned func ends the span and restores the scope.
+func (b *Backend) span(env *sim.Env, name string, arg int64) func() {
+	tr := b.fs.Tracer()
+	if !tr.Enabled() {
+		return func() {}
+	}
+	parent := tr.Scope()
+	id := tr.Begin("baseline", name, parent, env.Now())
+	tr.SetArg(id, arg)
+	tr.SetScope(id)
+	return func() {
+		tr.End(id, env.Now())
+		tr.SetScope(parent)
+	}
+}
+
 const (
 	walName     = "appendonly.wal"
 	walSnapName = "dump-wal.rdb"
@@ -115,11 +133,15 @@ func (b *Backend) Label() string { return "baseline/" + b.fs.Profile().Name }
 
 // WALAppend appends log bytes via write(2).
 func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
+	end := b.span(env, "wal.append", int64(len(data)))
+	defer end()
 	return b.walFile.Append(env, data)
 }
 
 // WALSync makes the log durable via fsync(2).
 func (b *Backend) WALSync(env *sim.Env) error {
+	end := b.span(env, "wal.sync", 0)
+	defer end()
 	return b.walFile.Fsync(env)
 }
 
@@ -158,12 +180,16 @@ type fileSink struct {
 }
 
 func (s *fileSink) Write(env *sim.Env, chunk []byte) error {
+	end := s.be.span(env, "dump.write", int64(len(chunk)))
+	defer end()
 	err := s.tmp.Write(env, s.off, chunk)
 	s.off += int64(len(chunk))
 	return err
 }
 
 func (s *fileSink) Commit(env *sim.Env) error {
+	end := s.be.span(env, "dump.commit", 0)
+	defer end()
 	if err := s.tmp.Fsync(env); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/slimio/slimio/internal/uring"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // Placement identifiers per lifetime class (§4.3). The paper names WAL = 1
@@ -79,6 +80,10 @@ type Config struct {
 	// MaxWALInflight bounds in-flight WAL-Path write commands before the
 	// writer blocks on the oldest completion (default 64).
 	MaxWALInflight int
+	// Trace, when non-nil, records core-layer spans (wal.append, wal.sync,
+	// slot.write, slot.commit, meta.write) and is propagated into both ring
+	// configs so uring command spans nest underneath. Nil disables tracing.
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults(capacity int64) {
@@ -97,6 +102,8 @@ func (c *Config) fillDefaults(capacity int64) {
 	if c.MaxWALInflight <= 0 {
 		c.MaxWALInflight = 64
 	}
+	c.WALRing.Trace = c.Trace
+	c.SnapshotRing.Trace = c.Trace
 }
 
 // layout is the computed LBA partitioning.

@@ -98,7 +98,13 @@ func (b *Backend) writeMeta(env *sim.Env, ring *uring.Ring) error {
 	lpa := b.lay.metaStart + b.metaCursor%b.lay.metaPages
 	b.metaCursor++
 	b.stats.MetadataWrites++
-	return ring.Write(env, lpa, [][]byte{b.meta.encode()}, PIDMetadata)
+	tr := b.cfg.Trace
+	span := tr.Begin("core", "meta.write", tr.Scope(), env.Now())
+	tr.SetScope(span)
+	err := ring.Write(env, lpa, [][]byte{b.meta.encode()}, PIDMetadata)
+	tr.SetScope(0)
+	tr.End(span, env.Now())
+	return err
 }
 
 // sealedPages is the total page count of all sealed segments.
@@ -133,6 +139,10 @@ func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
 	if needed > b.lay.walPages {
 		return fmt.Errorf("core: WAL region full (%d pages)", b.lay.walPages)
 	}
+	tr := b.cfg.Trace
+	span := tr.Begin("core", "wal.append", tr.Scope(), env.Now())
+	tr.SetArg(span, int64(len(data)))
+	defer func() { tr.End(span, env.Now()) }()
 	b.walTail = append(b.walTail, data...)
 	b.walBytes += int64(len(data))
 
@@ -141,7 +151,10 @@ func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
 	for len(b.outstanding) > b.cfg.MaxWALInflight {
 		sig := b.outstanding[0]
 		b.outstanding = b.outstanding[1:]
-		if cqe := sig.Wait(env).(*uring.CQE); cqe.Err != nil {
+		t := env.Now()
+		cqe := sig.Wait(env).(*uring.CQE)
+		tr.Emit("core", "inflight.wait", span, t, env.Now(), 0)
+		if cqe.Err != nil {
 			return cqe.Err
 		}
 	}
@@ -159,7 +172,9 @@ func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
 			off := (written + i) * b.pageSize
 			pages[i] = pageBuf[off : off+b.pageSize]
 		}
+		tr.SetScope(span)
 		sig := b.walRing.WriteAsync(env, run.start, pages, PIDWAL)
+		tr.SetScope(0)
 		b.outstanding = append(b.outstanding, sig)
 		written += run.n
 	}
@@ -176,20 +191,30 @@ func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
 // with further WALAppend calls: it takes ownership of the current
 // outstanding set, and later appends accumulate into a fresh one.
 func (b *Backend) WALSync(env *sim.Env) error {
+	tr := b.cfg.Trace
+	span := tr.Begin("core", "wal.sync", tr.Scope(), env.Now())
+	defer func() { tr.End(span, env.Now()) }()
 	if len(b.walTail) > 0 && b.walTailSynced != len(b.walTail) {
 		lpa := b.walLPA(b.walFullPages)
 		tail := append([]byte(nil), b.walTail...)
-		b.outstanding = append(b.outstanding, b.walRing.WriteAsync(env, lpa, [][]byte{tail}, PIDWAL))
+		tr.SetScope(span)
+		sig := b.walRing.WriteAsync(env, lpa, [][]byte{tail}, PIDWAL)
+		tr.SetScope(0)
+		b.outstanding = append(b.outstanding, sig)
 		b.walTailSynced = len(b.walTail)
 		b.stats.WALTailRewrites++
 	}
 	pending := b.outstanding
 	b.outstanding = nil
 	var firstErr error
+	t := env.Now()
 	for _, sig := range pending {
 		if cqe := sig.Wait(env).(*uring.CQE); cqe.Err != nil && firstErr == nil {
 			firstErr = cqe.Err
 		}
+	}
+	if len(pending) > 0 {
+		tr.Emit("core", "reap.wait", span, t, env.Now(), int64(len(pending)))
 	}
 	return firstErr
 }
@@ -272,6 +297,10 @@ func (s *slotSink) Write(env *sim.Env, chunk []byte) error {
 	if (s.off+int64(len(chunk))+b.pageSize-1)/b.pageSize > b.lay.slotPages {
 		return fmt.Errorf("core: snapshot exceeds slot size (%d pages)", b.lay.slotPages)
 	}
+	tr := b.cfg.Trace
+	span := tr.Begin("core", "slot.write", tr.Scope(), env.Now())
+	tr.SetArg(span, int64(len(chunk)))
+	defer func() { tr.End(span, env.Now()) }()
 	s.tail = append(s.tail, chunk...)
 	full := int64(len(s.tail)) / b.pageSize
 	if full == 0 {
@@ -288,7 +317,10 @@ func (s *slotSink) Write(env *sim.Env, chunk []byte) error {
 	// Submit asynchronously: the SQPOLL poller dispatches while the
 	// snapshot process compresses the next chunk, overlapping CPU and
 	// device time (§4.1).
-	s.outstanding = append(s.outstanding, s.ring.WriteAsync(env, b.lay.slotStart[s.slot]+startPage, pages, s.pid()))
+	tr.SetScope(span)
+	sig := s.ring.WriteAsync(env, b.lay.slotStart[s.slot]+startPage, pages, s.pid())
+	tr.SetScope(0)
+	s.outstanding = append(s.outstanding, sig)
 	b.stats.SnapshotPageWrites += full
 	s.tail = rest
 	s.off += int64(len(chunk))
@@ -306,17 +338,25 @@ func (s *slotSink) pid() uint32 {
 // atomic metadata write, and deallocates the superseded image.
 func (s *slotSink) Commit(env *sim.Env) error {
 	b := s.be
+	tr := b.cfg.Trace
+	span := tr.Begin("core", "slot.commit", tr.Scope(), env.Now())
+	defer func() { tr.End(span, env.Now()) }()
 	if len(s.tail) > 0 {
 		lpa := b.lay.slotStart[s.slot] + (s.off-int64(len(s.tail)))/b.pageSize
-		s.outstanding = append(s.outstanding, s.ring.WriteAsync(env, lpa, [][]byte{s.tail}, s.pid()))
+		tr.SetScope(span)
+		sig := s.ring.WriteAsync(env, lpa, [][]byte{s.tail}, s.pid())
+		tr.SetScope(0)
+		s.outstanding = append(s.outstanding, sig)
 		b.stats.SnapshotPageWrites++
 		s.tail = nil
 	}
 	// The image must be fully durable before the promotion record points
 	// at it.
+	t := env.Now()
 	if err := s.reap(env); err != nil {
 		return err
 	}
+	tr.Emit("core", "reap.wait", span, t, env.Now(), 0)
 	target := roleWALSnap
 	if s.kind == imdb.OnDemandSnapshot {
 		target = roleOnDemand
@@ -336,7 +376,10 @@ func (s *slotSink) Commit(env *sim.Env) error {
 		b.meta.slotRoles[oldSlot] = roleReserve
 		b.meta.slotBytes[oldSlot] = 0
 	}
-	if err := b.writeMeta(env, s.ring); err != nil {
+	tr.SetScope(span)
+	err := b.writeMeta(env, s.ring)
+	tr.SetScope(0)
+	if err != nil {
 		return err
 	}
 	b.stats.Promotions++

@@ -6,6 +6,7 @@ import (
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/workload"
 )
 
@@ -39,6 +40,11 @@ type CellConfig struct {
 	// free-space dynamics behind organic steady-state GC cannot form, so
 	// the controller work is injected on the dies (see DESIGN.md).
 	GCPressure bool
+	// TraceLabel overrides the cell's tracer label (default "Kind/Policy").
+	// Runners that launch several cells with the same kind and policy must
+	// set it: concurrent cells sharing a registry label would share one
+	// tracer, which is both a data race and a scrambled trace.
+	TraceLabel string
 }
 
 // Injected GC intensity: fraction of every die occupied by internal GC work
@@ -73,6 +79,8 @@ type CellResult struct {
 	Series   *metrics.Series
 	Engine   imdb.Stats
 	Stack    *Stack
+	// Trace is the cell's span tracer (nil when Scale.Trace is unset).
+	Trace *vtrace.Tracer
 
 	cellHists
 }
@@ -81,13 +89,23 @@ type CellResult struct {
 // collects the cell metrics.
 func RunCell(cfg CellConfig) (*CellResult, error) {
 	eng := sim.NewEngine()
-	st, err := BuildStack(eng, cfg.Kind, cfg.Scale)
+	label := cfg.TraceLabel
+	if label == "" {
+		label = fmt.Sprintf("%s/%s", cfg.Kind, cfg.Policy)
+	}
+	sc := cfg.Scale
+	var tracer *vtrace.Tracer
+	if sc.Trace != nil {
+		tracer = sc.Trace.Tracer(label)
+		sc.tracer = tracer
+	}
+	st, err := BuildStack(eng, cfg.Kind, sc)
 	if err != nil {
 		return nil, err
 	}
 	series := metrics.NewSeries(cfg.Scale.RPSInterval)
 
-	dbCfg := imdb.Config{Policy: cfg.Policy}
+	dbCfg := imdb.Config{Policy: cfg.Policy, Trace: tracer}
 	if !cfg.DisableWALSnapshots {
 		dbCfg.WALSnapshotTrigger = cfg.Scale.WALTriggerBytes
 	}
@@ -105,7 +123,7 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 		stopGC = st.Dev.InjectGCPressure(eng, gcPressureDuty, gcPressurePeriod)
 	}
 
-	res := &CellResult{Label: fmt.Sprintf("%s/%s", cfg.Kind, cfg.Policy), Config: cfg, Series: series, Stack: st}
+	res := &CellResult{Label: label, Config: cfg, Series: series, Stack: st, Trace: tracer}
 	var runErr error
 	var endAt sim.Time
 	eng.Spawn("driver", func(env *sim.Env) {

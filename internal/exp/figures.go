@@ -7,6 +7,7 @@ import (
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/workload"
 )
 
@@ -37,6 +38,7 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 	sc.Reps = 1
 	sc.OpsPerRep /= 2
 	run := func(name string, cfg CellConfig) (Figure2Scenario, error) {
+		cfg.TraceLabel = "fig2/" + name
 		res, err := RunCell(cfg)
 		if err != nil {
 			return Figure2Scenario{}, err
@@ -147,6 +149,8 @@ type TimelineResult struct {
 	Snapshots []imdb.SnapshotEvent
 	WAF       float64
 	GCRuns    int64
+	// Trace is the cell's span tracer (nil when Scale.Trace is unset).
+	Trace *vtrace.Tracer
 }
 
 // RunTimeline runs an open-ended redis-benchmark workload for a fixed
@@ -167,6 +171,7 @@ func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.D
 	db := imdb.New(eng, st.Backend, imdb.Config{
 		Policy:             imdb.PeriodicalLog,
 		WALSnapshotTrigger: sc.WALTriggerBytes,
+		Trace:              st.Trace,
 	}, series)
 	db.Start()
 	wl := workload.RedisBench(0, sc.KeyRange)
@@ -187,6 +192,7 @@ func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.D
 		Snapshots: db.Stats().Snapshots,
 		WAF:       st.Dev.Stats().WAF(),
 		GCRuns:    st.Dev.Stats().GCRuns,
+		Trace:     st.Trace,
 	}
 	// Tear the run down so its goroutines release the simulated device.
 	eng.Shutdown()

@@ -23,6 +23,7 @@ import (
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 	"github.com/slimio/slimio/internal/uring"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // BackendKind selects a full storage stack.
@@ -105,6 +106,15 @@ type Scale struct {
 	// are identical at any setting). 0 means GOMAXPROCS, 1 forces the
 	// serial harness.
 	Parallel int
+
+	// Trace, when non-nil, enables virtual-time span tracing: every cell
+	// records into its own tracer (labelled by cell) in this registry,
+	// threaded through every stack layer from the engine down to the NAND
+	// timelines. Nil keeps the hot path allocation-free.
+	Trace *vtrace.Registry
+	// tracer is the per-cell tracer resolved by RunCell; BuildStack falls
+	// back to Trace.Tracer(kind.String()) when a stack is built directly.
+	tracer *vtrace.Tracer
 }
 
 // SmallScale is the default: ~1/500 of the paper's volume, seconds to run.
@@ -165,6 +175,8 @@ type Stack struct {
 	// Fault is the device fault plan, non-nil only when the scale requests
 	// fault injection (crash harnesses also use it to schedule power cuts).
 	Fault *fault.Plan
+	// Trace is the resolved per-cell tracer (nil when tracing is off).
+	Trace *vtrace.Tracer
 }
 
 // BuildStack assembles the device and persistence backend for kind.
@@ -176,7 +188,12 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 		return nil, err
 	}
 	arr.SetClock(eng)
-	st := &Stack{Kind: kind, Eng: eng}
+	tr := sc.tracer
+	if tr == nil && sc.Trace != nil {
+		tr = sc.Trace.Tracer(kind.String())
+	}
+	arr.SetTracer(tr)
+	st := &Stack{Kind: kind, Eng: eng, Trace: tr}
 
 	// Install the fault plan only when it can inject something: an absent
 	// hook is a strict no-op, keeping fault-free runs bit-identical.
@@ -196,18 +213,18 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 	// single placement stream (FEMU reclaims superblocks spanning all dies;
 	// that is what makes mixed lifetimes expensive).
 	newConv := func() (*ssd.Device, error) {
-		f, err := fdp.NewConventional(arr, fdp.Config{Metrics: sc.Metrics})
+		f, err := fdp.NewConventional(arr, fdp.Config{Metrics: sc.Metrics, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
-		return ssd.New(f, ssd.Config{Metrics: sc.Metrics}), nil
+		return ssd.New(f, ssd.Config{Metrics: sc.Metrics, Trace: tr}), nil
 	}
 	newFDP := func() (*ssd.Device, error) {
-		f, err := fdp.New(arr, fdp.Config{Metrics: sc.Metrics})
+		f, err := fdp.New(arr, fdp.Config{Metrics: sc.Metrics, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
-		return ssd.New(f, ssd.Config{Metrics: sc.Metrics}), nil
+		return ssd.New(f, ssd.Config{Metrics: sc.Metrics, Trace: tr}), nil
 	}
 	slotPages := sc.SlotBytes / int64(geo.PageSize)
 
@@ -235,6 +252,7 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 			st.Dev = dev
 		}
 		st.FS = kernelio.NewFilesystem(eng, st.Dev, prof, mode, kernelio.DefaultCosts())
+		st.FS.SetTracer(tr)
 		if kind == FDPAwareFS {
 			st.FS.SetPlacementHint(filePID)
 		}
@@ -258,7 +276,7 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 			}
 			st.Dev = dev
 		}
-		cfg := core.Config{SlotPages: slotPages}
+		cfg := core.Config{SlotPages: slotPages, Trace: tr}
 		if kind == SlimIONoSQPoll {
 			cfg.SnapshotRingSet = true
 			cfg.SnapshotRing = uring.Config{SQPoll: false}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/workload"
 )
 
@@ -107,12 +108,14 @@ func RunTable2(sc Scale) (*Table2Result, error) {
 			Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
 			Workload:     workload.RedisBench(0, sc.KeyRange),
 			SnapshotOnly: true, DisableWALSnapshots: true,
+			TraceLabel: "table2/snapshot-only",
 		},
 		{
 			Kind: BaselineF2FS, Policy: imdb.PeriodicalLog, Scale: sc,
 			Workload:       workload.RedisBench(0, sc.KeyRange),
 			OnDemandMidRun: true, DisableWALSnapshots: true,
-			Preload: true, // identical dataset to the Snapshot-Only scenario
+			Preload:    true, // identical dataset to the Snapshot-Only scenario
+			TraceLabel: "table2/snapshot+wal",
 		},
 	}
 	shares := make([]float64, len(cfgs))
@@ -146,6 +149,9 @@ type OverallRow struct {
 	Kind    BackendKind
 	Result  *CellResult
 	GetP999 sim.Duration
+	// Attrib is the per-layer latency attribution for the cell, non-nil
+	// only when the run traced (Scale.Trace set).
+	Attrib *vtrace.Attribution
 }
 
 // OverallResult holds the full Table 3 or Table 4.
@@ -189,7 +195,11 @@ func RunTable3(sc Scale) (*OverallResult, error) {
 		}
 		res.Stack.Eng.Shutdown()
 		res.ReleaseHeavy()
-		rows[i] = OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res}
+		row := OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res}
+		if res.Trace != nil {
+			row.Attrib = vtrace.Compute(res.Trace)
+		}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -270,6 +280,13 @@ func (t *OverallResult) String() string {
 			line += fmt.Sprintf(" %8.2f", res.WAF)
 		}
 		fmt.Fprintln(&b, line)
+	}
+	for _, r := range t.Rows {
+		if r.Attrib == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\nLatency attribution — %s (%s/%s):\n", r.Result.Label, r.Policy, r.System)
+		b.WriteString(r.Attrib.Format())
 	}
 	return b.String()
 }

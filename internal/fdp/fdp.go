@@ -21,6 +21,7 @@ import (
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 const (
@@ -69,6 +70,10 @@ type Config struct {
 	// events (fdp.program_fail, fdp.block_retired, fdp.gc_read_retry,
 	// fdp.lpa_lost, fdp.erase_fail, fdp.torn_write).
 	Metrics *metrics.Counter
+	// Trace, when non-nil, records fdp/write, fdp/read and fdp/reclaim
+	// spans (reclaim spans carry the copied-page count as Arg, and an empty
+	// reclaim — the FDP win — also emits an fdp/reclaim.empty instant).
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults(geo nand.Geometry) {
@@ -547,7 +552,7 @@ func (f *FTL) openRU(now sim.Time, pid uint32) (*reclaimUnit, sim.Time, error) {
 // RU costs only erases; otherwise valid pages migrate to their PID's open RU
 // first (inflating WAF, which Stats expose). It reports whether a victim was
 // reclaimed.
-func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
+func (f *FTL) reclaim(now sim.Time) (done sim.Time, reclaimed bool, err error) {
 	f.reclaimIn = true
 	defer func() { f.reclaimIn = false }()
 
@@ -567,6 +572,18 @@ func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
 
 	start, end := now, now
 	copied := 0
+	// The reclaim span parents the migration and erase NAND work; its parent
+	// is the host write that triggered it (published via the tracer scope),
+	// so reclaim stalls appear inside the op tree that paid for them.
+	tr := f.cfg.Trace
+	rcParent := tr.Scope()
+	rcSpan := tr.Begin("fdp", "reclaim", rcParent, now)
+	tr.SetScope(rcSpan)
+	defer func() {
+		tr.SetArg(rcSpan, int64(copied))
+		tr.End(rcSpan, done)
+		tr.SetScope(rcParent)
+	}()
 	if victim.valid > 0 {
 		perBlock := f.arr.Geometry().PagesPerBlock
 		for _, b := range victim.blocks {
@@ -646,6 +663,7 @@ func (f *FTL) reclaim(now sim.Time) (sim.Time, bool, error) {
 	f.stats.RUsReclaimed++
 	if copied == 0 {
 		f.stats.RUsReclaimedEmpty++
+		tr.Instant("fdp", "reclaim.empty", start, int64(victim.id))
 	}
 	f.stats.GCBusy += end.Sub(start)
 	if len(f.log) < f.cfg.EventLogLimit {
@@ -700,6 +718,15 @@ func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.
 	if int(pid) >= f.cfg.MaxPIDs {
 		return now, fmt.Errorf("fdp: PID %d exceeds device limit %d", pid, f.cfg.MaxPIDs)
 	}
+	tr := f.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("fdp", "write", parent, now)
+	tr.SetArg(span, int64(pid))
+	tr.SetScope(span)
+	defer func() {
+		tr.End(span, done)
+		tr.SetScope(parent)
+	}()
 	var ppa nand.PPA
 	for attempt := 0; ; attempt++ {
 		var ready sim.Time
@@ -750,7 +777,14 @@ func (f *FTL) Read(now sim.Time, lpa int64) (data []byte, done sim.Time, err err
 		return nil, now, fmt.Errorf("fdp: read of unmapped LPA %d", lpa)
 	}
 	f.stats.HostReadPages++
-	return f.arr.Read(now, ppa)
+	tr := f.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("fdp", "read", parent, now)
+	tr.SetScope(span)
+	data, done, err = f.arr.Read(now, ppa)
+	tr.End(span, done)
+	tr.SetScope(parent)
+	return data, done, err
 }
 
 // Deallocate (TRIM) invalidates count LPAs starting at lpa.

@@ -17,6 +17,7 @@ import (
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // maxProgramRetries bounds how many fresh pages a single logical write tries
@@ -82,6 +83,9 @@ type Config struct {
 	// ("ftl.program_fail", "ftl.block_retired", "ftl.gc_read_retry",
 	// "ftl.lpa_lost", "ftl.erase_fail", "ftl.torn_write").
 	Metrics *metrics.Counter
+	// Trace, when non-nil, records ftl/write, ftl/read and ftl/gc spans
+	// (GC spans carry the copied-page count as Arg).
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -289,7 +293,7 @@ func (f *FTL) allocPage(now sim.Time) (nand.PPA, sim.Time, error) {
 // selection. Valid pages are migrated to the same die's write front so GC
 // stays die-local. It reports whether a victim was reclaimed, and the
 // virtual time at which the die is available again for host work.
-func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
+func (f *FTL) collect(now sim.Time, die int) (done sim.Time, reclaimed bool, err error) {
 	f.inGC = true
 	defer func() { f.inGC = false }()
 
@@ -321,6 +325,18 @@ func (f *FTL) collect(now sim.Time, die int) (sim.Time, bool, error) {
 	gcStart := now
 	end := now
 	copied := 0
+	// The GC span parents every migration read/program and the erase; its
+	// parent is whatever host write triggered collection (the FTL-write span
+	// published via the tracer scope), so stalls show up inside the op tree.
+	tr := f.cfg.Trace
+	gcParent := tr.Scope()
+	gcSpan := tr.Begin("ftl", "gc", gcParent, now)
+	tr.SetScope(gcSpan)
+	defer func() {
+		tr.SetArg(gcSpan, int64(copied))
+		tr.End(gcSpan, done)
+		tr.SetScope(gcParent)
+	}()
 	for p := 0; p < geo.PagesPerBlock; p++ {
 		src := f.arr.PPAOf(die, victim, p)
 		lpa := f.p2l[src]
@@ -570,6 +586,14 @@ func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.
 	if err := f.checkLPA(lpa); err != nil {
 		return now, err
 	}
+	tr := f.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("ftl", "write", parent, now)
+	tr.SetScope(span)
+	defer func() {
+		tr.End(span, done)
+		tr.SetScope(parent)
+	}()
 	var ppa nand.PPA
 	for attempt := 0; ; attempt++ {
 		var ready sim.Time
@@ -619,7 +643,14 @@ func (f *FTL) Read(now sim.Time, lpa int64) (data []byte, done sim.Time, err err
 		return nil, now, fmt.Errorf("ftl: read of unmapped LPA %d", lpa)
 	}
 	f.stats.HostReadPages++
-	return f.arr.Read(now, ppa)
+	tr := f.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("ftl", "read", parent, now)
+	tr.SetScope(span)
+	data, done, err = f.arr.Read(now, ppa)
+	tr.End(span, done)
+	tr.SetScope(parent)
+	return data, done, err
 }
 
 // Deallocate (TRIM) invalidates count LPAs starting at lpa, telling the

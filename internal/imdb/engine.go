@@ -8,6 +8,7 @@ import (
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/snapshot"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/wal"
 )
 
@@ -64,6 +65,13 @@ type Request struct {
 
 	kind       SnapshotKind // for opSnapshot
 	snapResult *snapResult  // for opSnapDone
+
+	// Trace state: the op-layer root span opened at Submit, when the
+	// request entered the queue, and when its apply finished (so the
+	// commit.wait child can be stamped at reply time).
+	span     vtrace.SpanID
+	enqueued sim.Time
+	applied  sim.Time
 }
 
 // snapResult carries a snapshot child's outcome back to the event loop.
@@ -153,6 +161,12 @@ type Config struct {
 	SnapshotChunk int
 	// Cost is the CPU cost model; zero value selects DefaultCostModel.
 	Cost CostModel
+	// Trace, when non-nil, records one op-layer root span per client
+	// command (queue / apply / commit.wait children), wal-layer root trees
+	// per flush, and snapshot-layer root trees per snapshot child. The
+	// same tracer must be installed on the backend stack for device spans
+	// to nest underneath. Nil disables tracing.
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -245,7 +259,52 @@ func (e *Engine) Submit(req *Request) {
 	if req.Reply == nil {
 		req.Reply = sim.NewSignal(e.eng)
 	}
+	if tr := e.cfg.Trace; tr.Enabled() {
+		switch req.Op {
+		case OpGet, OpSet, OpDel:
+			req.enqueued = e.eng.Now()
+			req.span = tr.Begin("op", opTraceName(req.Op), 0, req.enqueued)
+		}
+	}
 	e.reqQ.Push(req)
+}
+
+// opTraceName maps a client opcode to its op-span name.
+func opTraceName(op Op) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	default:
+		return "del"
+	}
+}
+
+// traceApply stamps the queue and apply children of r's op span: queued
+// from Submit until start, applied over [start, now].
+func (e *Engine) traceApply(env *sim.Env, r *Request, start sim.Time) {
+	if r.span == 0 {
+		return
+	}
+	tr := e.cfg.Trace
+	tr.Emit("imdb", "queue", r.span, r.enqueued, start, 0)
+	tr.Emit("imdb", "apply", r.span, start, env.Now(), 0)
+	r.applied = env.Now()
+}
+
+// endOp closes r's op span at reply time; commitWait adds the child span
+// covering the durability wait between apply and reply (Always-Log).
+func (e *Engine) endOp(env *sim.Env, r *Request, commitWait bool) {
+	if r.span == 0 {
+		return
+	}
+	tr := e.cfg.Trace
+	if commitWait && env.Now().Sub(r.applied) > 0 {
+		tr.Emit("imdb", "commit.wait", r.span, r.applied, env.Now(), 0)
+	}
+	tr.End(r.span, env.Now())
+	r.span = 0
 }
 
 // Get is a convenience blocking read.
@@ -371,6 +430,7 @@ func (e *Engine) mainLoop(env *sim.Env) {
 				if e.cfg.Policy == AlwaysLog {
 					setReplies = append(setReplies, r)
 				} else {
+					e.endOp(env, r, false)
 					r.Reply.Fire(&Response{})
 				}
 			case OpDel:
@@ -378,6 +438,7 @@ func (e *Engine) mainLoop(env *sim.Env) {
 				if e.cfg.Policy == AlwaysLog {
 					setReplies = append(setReplies, r)
 				} else {
+					e.endOp(env, r, false)
 					r.Reply.Fire(&Response{})
 				}
 			case opTick:
@@ -385,7 +446,7 @@ func (e *Engine) mainLoop(env *sim.Env) {
 				// durable. As in Redis's appendfsync-everysec, the sync runs
 				// on a background thread; the event loop only blocks when
 				// the previous sync is still lagging.
-				if err := e.appendWAL(env); err != nil {
+				if err := e.appendWAL(env, 0); err != nil {
 					panic(fmt.Sprintf("imdb: WAL append failed: %v", err))
 				}
 				for e.syncing {
@@ -393,7 +454,13 @@ func (e *Engine) mainLoop(env *sim.Env) {
 				}
 				e.syncing = true
 				env.Spawn("wal-bio-sync", func(child *sim.Env) {
-					if err := e.be.WALSync(child); err != nil {
+					tr := e.cfg.Trace
+					span := tr.Begin("wal", "sync", 0, child.Now())
+					tr.SetScope(span)
+					err := e.be.WALSync(child)
+					tr.SetScope(0)
+					tr.End(span, child.Now())
+					if err != nil {
 						panic(fmt.Sprintf("imdb: WAL sync failed: %v", err))
 					}
 					e.stats.WALSyncs++
@@ -414,12 +481,14 @@ func (e *Engine) mainLoop(env *sim.Env) {
 			if err := e.flushWAL(env); err != nil {
 				resp := &Response{Err: err}
 				for _, r := range setReplies {
+					e.endOp(env, r, true)
 					r.Reply.Fire(resp)
 				}
 				setReplies = nil
 			}
 		}
 		for _, r := range setReplies {
+			e.endOp(env, r, true)
 			r.Reply.Fire(&Response{})
 		}
 
@@ -433,7 +502,7 @@ func (e *Engine) mainLoop(env *sim.Env) {
 		// event-loop iteration (Redis flushes the AOF buffer in
 		// beforeSleep); durability comes from the flush timer above.
 		if e.cfg.Policy == PeriodicalLog && e.walBuf.Len() > 0 {
-			if err := e.appendWAL(env); err != nil {
+			if err := e.appendWAL(env, 0); err != nil {
 				panic(fmt.Sprintf("imdb: WAL append failed: %v", err))
 			}
 		}
@@ -454,15 +523,19 @@ func (e *Engine) mainLoop(env *sim.Env) {
 
 func (e *Engine) execGet(env *sim.Env, r *Request) {
 	cost := e.cfg.Cost
+	start := env.Now()
 	v := e.store.Get(r.Key)
 	env.Work("cmd", cost.CmdBaseCPU+sim.DurationForBytes(int64(len(v)), cost.StoreBandwidth))
 	e.stats.Gets++
 	e.countOp(env)
+	e.traceApply(env, r, start)
+	e.endOp(env, r, false)
 	r.Reply.Fire(&Response{Value: v})
 }
 
 func (e *Engine) execSet(env *sim.Env, r *Request) {
 	cost := e.cfg.Cost
+	start := env.Now()
 	env.Work("cmd", cost.CmdBaseCPU+sim.DurationForBytes(int64(len(r.Value)), cost.StoreBandwidth))
 	_, span := e.store.Set(r.Key, r.Value)
 
@@ -482,6 +555,7 @@ func (e *Engine) execSet(env *sim.Env, r *Request) {
 	e.walBuf.Append(wal.OpSet, []byte(r.Key), r.Value)
 	e.stats.Sets++
 	e.countOp(env)
+	e.traceApply(env, r, start)
 	e.notePeak()
 }
 
@@ -489,6 +563,7 @@ func (e *Engine) execSet(env *sim.Env, r *Request) {
 // during a snapshot pay copy-on-write for the pages they touch.
 func (e *Engine) execDel(env *sim.Env, r *Request) {
 	cost := e.cfg.Cost
+	start := env.Now()
 	env.Work("cmd", cost.CmdBaseCPU)
 	existed, span := e.store.Delete(r.Key)
 	if e.snapActive && existed {
@@ -504,6 +579,7 @@ func (e *Engine) execDel(env *sim.Env, r *Request) {
 	e.walBuf.Append(wal.OpDel, []byte(r.Key), nil)
 	e.stats.Dels++
 	e.countOp(env)
+	e.traceApply(env, r, start)
 }
 
 func (e *Engine) countOp(env *sim.Env) {
@@ -518,7 +594,7 @@ func (e *Engine) countOp(env *sim.Env) {
 // and retried at snapshot completion: the engine keeps serving but writes
 // lose durability until the stall clears, as §5.4 observes for direct-write
 // designs under device pressure.
-func (e *Engine) appendWAL(env *sim.Env) error {
+func (e *Engine) appendWAL(env *sim.Env, parent vtrace.SpanID) error {
 	if len(e.walPending) > 0 {
 		// Already stalled on log space: nothing can free it except a
 		// snapshot completion, so keep buffering instead of burning a
@@ -529,7 +605,14 @@ func (e *Engine) appendWAL(env *sim.Env) error {
 		return nil
 	}
 	data := e.walBuf.Drain()
-	if err := e.be.WALAppend(env, data); err != nil {
+	tr := e.cfg.Trace
+	span := tr.Begin("wal", "append", parent, env.Now())
+	tr.SetArg(span, int64(len(data)))
+	tr.SetScope(span)
+	err := e.be.WALAppend(env, data)
+	tr.SetScope(0)
+	tr.End(span, env.Now())
+	if err != nil {
 		if e.snapActive {
 			e.walPending = data
 			e.stats.WALStalls++
@@ -552,10 +635,16 @@ func (e *Engine) appendWAL(env *sim.Env) error {
 // flushWAL drains the buffer and makes it durable (Always-Log batches,
 // shutdown).
 func (e *Engine) flushWAL(env *sim.Env) error {
-	if err := e.appendWAL(env); err != nil {
+	tr := e.cfg.Trace
+	span := tr.Begin("wal", "flush", 0, env.Now())
+	defer func() { tr.End(span, env.Now()) }()
+	if err := e.appendWAL(env, span); err != nil {
 		return err
 	}
-	if err := e.be.WALSync(env); err != nil {
+	tr.SetScope(span)
+	err := e.be.WALSync(env)
+	tr.SetScope(0)
+	if err != nil {
 		return err
 	}
 	e.stats.WALSyncs++
@@ -575,6 +664,7 @@ func (e *Engine) maybeStartSnapshot(env *sim.Env, kind SnapshotKind) {
 	t0 := env.Now()
 	env.Work("fork", stall)
 	e.stats.ForkStall += env.Now().Sub(t0)
+	e.cfg.Trace.Instant("snapshot", "fork", env.Now(), int64(stall))
 
 	e.store.BeginCOWEpoch()
 	e.snapActive = true
@@ -584,7 +674,7 @@ func (e *Engine) maybeStartSnapshot(env *sim.Env, kind SnapshotKind) {
 		// Rotate the log at the fork point (Redis 7 multipart-AOF style):
 		// pre-fork records stay in the sealed segment that the snapshot
 		// will supersede; post-fork records start a fresh segment.
-		if err := e.appendWAL(env); err == nil && len(e.walPending) == 0 {
+		if err := e.appendWAL(env, 0); err == nil && len(e.walPending) == 0 {
 			if err := e.be.WALRotate(env); err == nil {
 				e.walRotated = true
 			}
@@ -602,13 +692,18 @@ func (e *Engine) maybeStartSnapshot(env *sim.Env, kind SnapshotKind) {
 // the backend sink. Completion is reported back to the event loop through
 // the request queue so that WAL swapping happens in main-loop context.
 func (e *Engine) runSnapshot(env *sim.Env, kind SnapshotKind, keysAtFork int) {
+	tr := e.cfg.Trace
+	snapSpan := tr.Begin("snapshot", kind.String(), 0, env.Now())
 	report := func(w *snapshot.Writer, err error) {
+		tr.End(snapSpan, env.Now())
 		e.reqQ.Push(&Request{Op: opSnapDone, snapResult: &snapResult{
 			kind: kind, writer: w, err: err, ended: env.Now(), proc: env.Proc(),
 		}})
 	}
 	cost := e.cfg.Cost
+	tr.SetScope(snapSpan)
 	sink, err := e.be.BeginSnapshot(env, kind)
+	tr.SetScope(0)
 	if err != nil {
 		report(nil, err)
 		return
@@ -616,7 +711,10 @@ func (e *Engine) runSnapshot(env *sim.Env, kind SnapshotKind, keysAtFork int) {
 	var werr error
 	w, err := snapshot.NewWriter(e.cfg.SnapshotChunk, func(chunk []byte, raw int) error {
 		env.Work("compress", sim.DurationForBytes(int64(raw), cost.CompressBandwidth))
-		return sink.Write(env, chunk)
+		tr.SetScope(snapSpan)
+		err := sink.Write(env, chunk)
+		tr.SetScope(0)
+		return err
 	})
 	if err != nil {
 		_ = sink.Abort(env)
@@ -663,7 +761,10 @@ func (e *Engine) runSnapshot(env *sim.Env, kind SnapshotKind, keysAtFork int) {
 		report(nil, werr)
 		return
 	}
-	if err := sink.Commit(env); err != nil {
+	tr.SetScope(snapSpan)
+	err = sink.Commit(env)
+	tr.SetScope(0)
+	if err != nil {
 		report(nil, err)
 		return
 	}
@@ -712,7 +813,14 @@ func (e *Engine) finishSnapshot(env *sim.Env, res *snapResult) {
 	if len(e.walPending) > 0 {
 		data := e.walPending
 		e.walPending = nil
-		if err := e.be.WALAppend(env, data); err != nil {
+		tr := e.cfg.Trace
+		span := tr.Begin("wal", "append", 0, env.Now())
+		tr.SetArg(span, int64(len(data)))
+		tr.SetScope(span)
+		err := e.be.WALAppend(env, data)
+		tr.SetScope(0)
+		tr.End(span, env.Now())
+		if err != nil {
 			// Still no space: stay stalled until the next completion.
 			e.walPending = data
 			e.stats.WALStalls++

@@ -6,6 +6,7 @@ import (
 
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // extentPages is the allocation granule: files grow by whole extents of
@@ -111,6 +112,12 @@ type Filesystem struct {
 	// back as holes, exactly like ext4 in data=ordered after power loss.
 	tolerateUnwritten bool
 
+	// trace, when non-nil, records syscall-level spans (kernelio/write,
+	// kernelio/fsync, kernelio/read) with journal.wait / throttle /
+	// commit.wait children, plus kernelio/writeback root trees for the
+	// background flusher. Shared with the scheduler via SetTracer.
+	trace *vtrace.Tracer
+
 	// wbPool recycles the page-sized buffers that carry cache-page snapshots
 	// to the device (collectDirty and the writeback daemon copy each page
 	// before submitting; the device has consumed the bytes by the time the
@@ -161,6 +168,17 @@ func NewFilesystem(eng *sim.Engine, dev *ssd.Device, prof Profile, mode SchedMod
 
 // Device exposes the underlying device (for stats).
 func (fs *Filesystem) Device() *ssd.Device { return fs.dev }
+
+// SetTracer installs a tracer on the filesystem and its block-layer
+// scheduler. Nil disables tracing.
+func (fs *Filesystem) SetTracer(t *vtrace.Tracer) {
+	fs.trace = t
+	fs.sched.SetTracer(t)
+}
+
+// Tracer returns the installed tracer (nil when tracing is off), letting
+// layers above the filesystem parent their spans on the same tracer.
+func (fs *Filesystem) Tracer() *vtrace.Tracer { return fs.trace }
 
 // SetPlacementHint installs a per-file placement-ID function, making this an
 // FDP-aware filesystem (used by the FDP-only ablation). Pass nil to disable.
@@ -273,6 +291,7 @@ func (fs *Filesystem) Remount(eng *sim.Engine) *Filesystem {
 		placementHint:     fs.placementHint,
 		tolerateUnwritten: true,
 	}
+	nfs.SetTracer(fs.trace)
 	for name, f := range fs.files {
 		if f.deleted {
 			continue
@@ -317,6 +336,10 @@ func (f *File) Write(env *sim.Env, off int64, data []byte) error {
 	fs := f.fs
 	fs.stats.Syscalls++
 	fs.stats.BytesWritten += int64(len(data))
+	tr := fs.trace
+	span := tr.Begin("kernelio", "write", tr.Scope(), env.Now())
+	tr.SetArg(span, int64(len(data)))
+	defer func() { tr.End(span, env.Now()) }()
 	env.Work(TagSyscall, fs.costs.SyscallEntry)
 
 	// The filesystem write lock (jbd2 handle / f2fs curseg) is held across
@@ -329,6 +352,9 @@ func (f *File) Write(env *sim.Env, off int64, data []byte) error {
 	fs.journal.Acquire(env)
 	waited := env.Now().Sub(t0)
 	fs.stats.JournalLockWait += waited
+	if waited > 0 {
+		tr.Emit("kernelio", "journal.wait", span, t0, env.Now(), 0)
+	}
 	if spin := waited; spin > 0 {
 		if spin > 20*sim.Microsecond {
 			spin = 20 * sim.Microsecond
@@ -403,6 +429,7 @@ func (f *File) Write(env *sim.Env, off int64, data []byte) error {
 		fs.wbKick.Notify()
 		fs.drained.Wait(env)
 		fs.stats.ThrottleTime += env.Now().Sub(t)
+		tr.Emit("kernelio", "throttle", span, t, env.Now(), int64(fs.dirtyCount))
 	}
 	return nil
 }
@@ -455,6 +482,9 @@ func (f *File) Fsync(env *sim.Env) error {
 	}
 	fs := f.fs
 	fs.stats.Syscalls++
+	tr := fs.trace
+	span := tr.Begin("kernelio", "fsync", tr.Scope(), env.Now())
+	defer func() { tr.End(span, env.Now()) }()
 	env.Work(TagSyscall, fs.costs.SyscallEntry)
 	ticket := fs.nextTicket
 	fs.nextTicket++
@@ -465,7 +495,9 @@ func (f *File) Fsync(env *sim.Env) error {
 		if len(batch) == 0 {
 			break
 		}
+		tr.SetScope(span)
 		req := fs.sched.Submit(batch, true)
+		tr.SetScope(0)
 		err, _ := req.Done.Wait(env).(error)
 		for i := range batch {
 			fs.putWBBuf(batch[i].Data)
@@ -490,7 +522,9 @@ func (f *File) Fsync(env *sim.Env) error {
 	// Journal commit with group semantics.
 	for fs.commitSeq < ticket {
 		if fs.committing {
+			t := env.Now()
 			fs.commitDone.Wait(env)
+			tr.Emit("kernelio", "commit.wait", span, t, env.Now(), 0)
 			continue
 		}
 		fs.committing = true
@@ -498,6 +532,7 @@ func (f *File) Fsync(env *sim.Env) error {
 		t0 := env.Now()
 		fs.journal.Acquire(env)
 		fs.stats.JournalLockWait += env.Now().Sub(t0)
+		commitSpan := tr.Begin("kernelio", "commit", span, env.Now())
 		env.Work(TagFS, fs.prof.CommitHold)
 		var metas []ssd.PageWrite
 		for i := 0; i < fs.prof.CommitPages; i++ {
@@ -505,8 +540,11 @@ func (f *File) Fsync(env *sim.Env) error {
 			fs.metaCursor++
 			metas = append(metas, ssd.PageWrite{LPA: lpa, Data: commitRecord(fs.dev.PageSize())})
 		}
+		tr.SetScope(commitSpan)
 		req := fs.sched.Submit(metas, true)
+		tr.SetScope(0)
 		err, _ := req.Done.Wait(env).(error)
+		tr.End(commitSpan, env.Now())
 		fs.journal.Release()
 		fs.committing = false
 		fs.commitSeq = covers
@@ -548,6 +586,10 @@ func (f *File) Read(env *sim.Env, off int64, n int) ([]byte, error) {
 	}
 	fs := f.fs
 	fs.stats.Syscalls++
+	tr := fs.trace
+	span := tr.Begin("kernelio", "read", tr.Scope(), env.Now())
+	tr.SetArg(span, int64(n))
+	defer func() { tr.End(span, env.Now()) }()
 	env.Work(TagSyscall, fs.costs.SyscallEntry)
 	if off >= f.size {
 		return nil, nil // EOF
@@ -565,7 +607,10 @@ func (f *File) Read(env *sim.Env, off int64, n int) ([]byte, error) {
 			continue
 		}
 		fs.stats.CacheMisses++
-		if err := f.fillFrom(env, idx); err != nil {
+		tr.SetScope(span)
+		err := f.fillFrom(env, idx)
+		tr.SetScope(0)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -710,6 +755,7 @@ type wbInflight struct {
 	req     *Request
 	touched []*File
 	flushed []*cachePage
+	span    vtrace.SpanID
 }
 
 // writeback is the background flusher daemon (one per filesystem): it drains
@@ -757,10 +803,17 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 			if len(batch) == 0 {
 				break
 			}
+			tr := fs.trace
+			wbSpan := tr.Begin("kernelio", "writeback", 0, env.Now())
+			tr.SetArg(wbSpan, int64(len(batch)))
+			tr.SetScope(wbSpan)
+			req := fs.sched.Submit(batch, false)
+			tr.SetScope(0)
 			inflight = append(inflight, wbInflight{
-				req:     fs.sched.Submit(batch, false),
+				req:     req,
 				touched: touched,
 				flushed: flushed,
+				span:    wbSpan,
 			})
 		}
 		if len(inflight) == 0 {
@@ -771,6 +824,7 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 		w := inflight[0]
 		inflight = inflight[1:]
 		w.req.Done.Wait(env)
+		fs.trace.End(w.span, env.Now())
 		fs.stats.WritebackPages += int64(len(w.req.Pages))
 		for i := range w.req.Pages {
 			fs.putWBBuf(w.req.Pages[i].Data)

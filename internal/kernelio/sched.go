@@ -3,6 +3,7 @@ package kernelio
 import (
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // SchedMode selects the block-layer scheduling policy.
@@ -35,6 +36,7 @@ type Request struct {
 
 	submitted sim.Time
 	seq       uint64
+	span      vtrace.SpanID // parent captured from the tracer scope at Submit
 }
 
 // SchedStats aggregates scheduler counters.
@@ -59,7 +61,12 @@ type Scheduler struct {
 	kick    *sim.Broadcast
 	stats   SchedStats
 	nextSeq uint64
+	trace   *vtrace.Tracer
 }
+
+// SetTracer installs a tracer recording one sched/dispatch span per request
+// (staged → device done) with a queue.wait child. Nil disables tracing.
+func (s *Scheduler) SetTracer(t *vtrace.Tracer) { s.trace = t }
 
 // NewScheduler starts the dispatch process on eng.
 func NewScheduler(eng *sim.Engine, dev *ssd.Device, mode SchedMode, costs Costs) *Scheduler {
@@ -71,7 +78,7 @@ func NewScheduler(eng *sim.Engine, dev *ssd.Device, mode SchedMode, costs Costs)
 // Submit stages a request for dispatch and returns it. The caller waits on
 // req.Done for completion. Callable from processes and callbacks.
 func (s *Scheduler) Submit(pages []ssd.PageWrite, sync bool) *Request {
-	req := &Request{Pages: pages, Sync: sync, Done: sim.NewSignal(s.eng), submitted: s.eng.Now(), seq: s.nextSeq}
+	req := &Request{Pages: pages, Sync: sync, Done: sim.NewSignal(s.eng), submitted: s.eng.Now(), seq: s.nextSeq, span: s.trace.Scope()}
 	s.nextSeq++
 	if sync {
 		s.syncQ = append(s.syncQ, req)
@@ -137,12 +144,24 @@ func (s *Scheduler) run(env *sim.Env) {
 			s.stats.SyncDispatched++
 		}
 		s.stats.QueueWait += env.Now().Sub(req.submitted)
+		tr := s.trace
+		var span vtrace.SpanID
+		if tr.Enabled() {
+			span = tr.Begin("sched", "dispatch", req.span, req.submitted)
+			tr.SetArg(span, int64(len(req.Pages)))
+			tr.Emit("sched", "queue.wait", span, req.submitted, env.Now(), 0)
+		}
 		env.Work("dispatch", s.costs.DispatchCPU)
+		prev := tr.Scope()
+		tr.SetScope(span)
 		done, err := s.dev.WriteScattered(env.Now(), req.Pages)
+		tr.SetScope(prev)
 		if err != nil {
+			tr.End(span, env.Now())
 			req.Done.Fire(err)
 			continue
 		}
+		tr.End(span, done)
 		env.Engine().At(done, func() { req.Done.Fire(nil) })
 	}
 }

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// refPercentile is the exact reference: the rank-th smallest observation,
+// with the same rank convention Percentile documents (rank = ceil(p/100*n),
+// clamped to [1, n]).
+func refPercentile(sorted []sim.Duration, p float64) sim.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	if p < 0 {
+		p = 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramPercentileProperty drives Percentile against the exact
+// sorted-slice reference over randomized seeded inputs and asserts the
+// documented ≈2⁻⁷ relative-error bound (plus one count for sub-bucket-0
+// integer truncation).
+func TestHistogramPercentileProperty(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) sim.Duration
+	}{
+		{"uniform-small", func(r *rand.Rand) sim.Duration { return sim.Duration(r.Int63n(200)) }},
+		{"uniform-wide", func(r *rand.Rand) sim.Duration { return sim.Duration(r.Int63n(int64(10 * sim.Second))) }},
+		{"exponential", func(r *rand.Rand) sim.Duration {
+			return sim.Duration(r.ExpFloat64() * float64(50*sim.Microsecond))
+		}},
+		{"bimodal", func(r *rand.Rand) sim.Duration {
+			if r.Intn(10) == 0 {
+				return sim.Duration(int64(2*sim.Millisecond) + r.Int63n(int64(sim.Millisecond)))
+			}
+			return sim.Duration(int64(5*sim.Microsecond) + r.Int63n(int64(sim.Microsecond)))
+		}},
+	}
+	percentiles := []float64{0, 1, 10, 25, 50, 75, 90, 99, 99.9, 99.99, 100}
+	for _, dist := range dists {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed * 7919))
+			n := 1000 + r.Intn(9000)
+			var h Histogram
+			vals := make([]sim.Duration, n)
+			for i := range vals {
+				vals[i] = dist.gen(r)
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, p := range percentiles {
+				got := h.Percentile(p)
+				want := refPercentile(vals, p)
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				tol := want>>subBucketBits + 1
+				if diff > tol {
+					t.Errorf("%s seed=%d n=%d p=%v: got %d, ref %d (diff %d > tol %d)",
+						dist.name, seed, n, p, got, want, diff, tol)
+				}
+			}
+			// Mean and Sum are exact, not bucketed.
+			var sum sim.Duration
+			for _, v := range vals {
+				sum += v
+			}
+			if h.Sum() != sum || h.Mean() != sum/sim.Duration(n) {
+				t.Errorf("%s seed=%d: sum/mean not exact: %d/%d vs %d/%d",
+					dist.name, seed, h.Sum(), h.Mean(), sum, sum/sim.Duration(n))
+			}
+			if h.Min() != vals[0] || h.Max() != vals[n-1] {
+				t.Errorf("%s seed=%d: min/max not exact", dist.name, seed)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeProperty: merging two histograms must equal the
+// histogram of the concatenated inputs, bucket for bucket.
+func TestHistogramMergeProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed * 104729))
+		var a, b, both Histogram
+		na, nb := 100+r.Intn(2000), 100+r.Intn(2000)
+		all := make([]sim.Duration, 0, na+nb)
+		for i := 0; i < na; i++ {
+			v := sim.Duration(r.Int63n(int64(sim.Second)))
+			a.Record(v)
+			both.Record(v)
+			all = append(all, v)
+		}
+		for i := 0; i < nb; i++ {
+			v := sim.Duration(r.ExpFloat64() * float64(sim.Millisecond))
+			b.Record(v)
+			both.Record(v)
+			all = append(all, v)
+		}
+		a.Merge(&b)
+		if a != both {
+			t.Fatalf("seed=%d: merged histogram differs from histogram of concatenation", seed)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, p := range []float64{50, 99, 99.9} {
+			got, want := a.Percentile(p), refPercentile(all, p)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > want>>subBucketBits+1 {
+				t.Errorf("seed=%d p=%v: merged percentile %d vs ref %d", seed, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSeriesAddGuards(t *testing.T) {
+	s := NewSeries(sim.Millisecond)
+	s.Add(sim.Time(0).Add(5*sim.Millisecond), 3)
+	if got := s.Count(5); got != 3 {
+		t.Fatalf("bucket 5 = %d, want 3", got)
+	}
+	if dropped, err := s.Errors(); dropped != 0 || err != nil {
+		t.Fatalf("clean series reports errors: %d, %v", dropped, err)
+	}
+
+	s.Add(sim.Time(-1), 1)
+	if dropped, err := s.Errors(); dropped != 1 || err == nil {
+		t.Fatalf("negative time not dropped: %d, %v", dropped, err)
+	}
+	if s.Len() != 6 || s.Total() != 3 {
+		t.Fatalf("negative Add mutated series: len=%d total=%d", s.Len(), s.Total())
+	}
+
+	// A time mapping past the bucket cap must be dropped, not allocated.
+	huge := sim.Time(int64(sim.Millisecond) * int64(MaxSeriesBuckets+10))
+	s.Add(huge, 1)
+	if dropped, _ := s.Errors(); dropped != 2 {
+		t.Fatalf("over-cap index not dropped: %d", dropped)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("over-cap Add grew the series to %d buckets", s.Len())
+	}
+
+	// A tiny interval against a realistic virtual timestamp is the
+	// misconfiguration this guards against: 1 ns buckets at t = 10 s would
+	// be 10^10 buckets (~80 GB).
+	tiny := NewSeries(1)
+	tiny.Add(sim.Time(0).Add(10*sim.Second), 1)
+	if dropped, err := tiny.Errors(); dropped != 1 || err == nil {
+		t.Fatalf("tiny-interval OOM guard failed: %d, %v", dropped, err)
+	}
+}
+
+func TestCounterSorted(t *testing.T) {
+	var c Counter
+	c.Inc("zeta", 3)
+	c.Inc("alpha", 1)
+	c.Inc("mid", 2)
+	c.Inc("alpha", 4)
+	got := c.Sorted()
+	want := []KV{{"alpha", 5}, {"mid", 2}, {"zeta", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sorted[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var empty Counter
+	if len(empty.Sorted()) != 0 {
+		t.Error("empty counter Sorted not empty")
+	}
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -14,6 +15,7 @@ import (
 type Series struct {
 	interval sim.Duration
 	counts   []int64
+	dropped  int64
 }
 
 // NewSeries returns a Series with the given bucket width.
@@ -24,13 +26,38 @@ func NewSeries(interval sim.Duration) *Series {
 	return &Series{interval: interval}
 }
 
-// Add records n events at virtual time t.
+// MaxSeriesBuckets caps how many buckets a Series will grow to. A
+// misconfigured interval (nanosecond buckets over a seconds-long run) would
+// otherwise allocate an effectively unbounded slice; past the cap, samples
+// are dropped and counted instead of extending the series.
+const MaxSeriesBuckets = 1 << 22
+
+// Add records n events at virtual time t. Samples at negative times or past
+// the bucket cap are dropped (and reported via Errors): both indicate a
+// misconfiguration, and neither is allowed to corrupt or OOM a run.
 func (s *Series) Add(t sim.Time, n int64) {
+	if t < 0 {
+		s.dropped++
+		return
+	}
 	idx := int(int64(t) / int64(s.interval))
+	if idx >= MaxSeriesBuckets {
+		s.dropped++
+		return
+	}
 	for len(s.counts) <= idx {
 		s.counts = append(s.counts, 0)
 	}
 	s.counts[idx] += n
+}
+
+// Errors reports how many Add calls were dropped for a negative time or an
+// over-cap bucket index, with a nil error when there were none.
+func (s *Series) Errors() (dropped int64, err error) {
+	if s.dropped == 0 {
+		return 0, nil
+	}
+	return s.dropped, fmt.Errorf("metrics: %d samples dropped (negative time or bucket index >= %d)", s.dropped, MaxSeriesBuckets)
 }
 
 // Interval reports the bucket width.
@@ -136,6 +163,30 @@ func (c *Counter) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(c.vals))
 	for k, v := range c.vals {
 		out[k] = v
+	}
+	return out
+}
+
+// KV is one named counter value.
+type KV struct {
+	Key   string
+	Value int64
+}
+
+// Sorted returns every counter as key-sorted pairs — the deterministic form
+// every printing call site must use (map-order output is a lint violation;
+// see DESIGN.md "Determinism contract").
+func (c *Counter) Sorted() []KV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, KV{Key: k, Value: c.vals[k]})
 	}
 	return out
 }

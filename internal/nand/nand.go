@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // Status is an NVMe-style command status code, surfaced alongside Go errors
@@ -257,7 +258,8 @@ type Array struct {
 	// once the *executing* event time passes every aliasing read.
 	clock Clock
 	stats Stats
-	hook  FaultHook // nil = perfect device
+	hook  FaultHook      // nil = perfect device
+	trace *vtrace.Tracer // nil = tracing off (the default)
 }
 
 // Clock reports the current virtual time; *sim.Engine satisfies it.
@@ -274,6 +276,12 @@ func (a *Array) SetClock(c Clock) { a.clock = c }
 // SetFaultHook installs (or, with nil, removes) the fault injector consulted
 // on every read, program, and erase.
 func (a *Array) SetFaultHook(h FaultHook) { a.hook = h }
+
+// SetTracer attaches (or, with nil, removes) the cell's span recorder. The
+// array emits one span per page read/program and block erase, with the span
+// Arg carrying the die/channel queue wait in nanoseconds, plus instants for
+// injected faults. Absent a tracer the only cost is one nil check per op.
+func (a *Array) SetTracer(t *vtrace.Tracer) { a.trace = t }
 
 // New builds an erased array with the given geometry and latencies.
 func New(geo Geometry, lat Latencies) (*Array, error) {
@@ -358,10 +366,14 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 			// The die still spent the sense and transfer time; the returned
 			// completion time anchors the caller's retry backoff.
 			die := a.DieOf(ppa)
-			_, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
+			senseStart, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
 			_, done = a.chans[a.channelOf(die)].Reserve(senseEnd, a.lat.ChannelXfer)
 			a.stats.Reads++
 			a.stats.ReadFaults++
+			if a.trace != nil {
+				a.trace.Emit("nand", "read", a.trace.Scope(), now, done, int64(senseStart.Sub(now)))
+				a.trace.Instant("fault", "read.err", now, int64(ppa))
+			}
 			return nil, done, herr
 		}
 	}
@@ -371,12 +383,15 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 	}
 	die := a.DieOf(ppa)
 	// Die senses the page, then the channel transfers it out.
-	_, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
+	senseStart, senseEnd := a.dies[die].Reserve(now, a.lat.PageRead)
 	_, done = a.chans[a.channelOf(die)].Reserve(senseEnd, a.lat.ChannelXfer)
 	if done > a.readHorizon {
 		a.readHorizon = done
 	}
 	a.stats.Reads++
+	if a.trace != nil {
+		a.trace.Emit("nand", "read", a.trace.Scope(), now, done, int64(senseStart.Sub(now)))
+	}
 	return d, done, nil
 }
 
@@ -401,19 +416,24 @@ func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err 
 	}
 	bs.nextPage++
 	// Channel transfers data in, then the die programs.
-	_, xferEnd := a.chans[a.channelOf(die)].Reserve(now, a.lat.ChannelXfer)
+	xferStart, xferEnd := a.chans[a.channelOf(die)].Reserve(now, a.lat.ChannelXfer)
 	_, done = a.dies[die].Reserve(xferEnd, a.lat.PageWrite)
 	a.stats.Programs++
+	if a.trace != nil {
+		a.trace.Emit("nand", "program", a.trace.Scope(), now, done, int64(xferStart.Sub(now)))
+	}
 	if a.hook != nil {
 		switch dec := a.hook.ProgramFault(now, done, ppa, data); dec.Outcome {
 		case ProgramFail:
 			// The page is consumed (a failed program cannot be retried in
 			// place) but holds nothing readable.
 			a.stats.ProgramFails++
+			a.trace.Instant("fault", "program.err", now, int64(ppa))
 			return done, &DeviceError{Status: StatusWriteFault, Op: "program", PPA: ppa}
 		case ProgramTorn:
 			a.data[ppa] = dec.Torn
 			a.stats.TornPrograms++
+			a.trace.Instant("fault", "program.torn", now, int64(ppa))
 			return done, &DeviceError{Status: StatusInterruptedWrite, Op: "program", PPA: ppa}
 		}
 	}
@@ -443,9 +463,14 @@ func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
 		if herr := a.hook.EraseFault(now, die, block); herr != nil {
 			// A failed erase still occupies the die; the block keeps its
 			// contents and program pointer so the FTL can retire it.
-			_, done = a.dies[die].Reserve(now, a.lat.BlockErase)
+			var eraseStart sim.Time
+			eraseStart, done = a.dies[die].Reserve(now, a.lat.BlockErase)
 			a.stats.Erases++
 			a.stats.EraseFaults++
+			if a.trace != nil {
+				a.trace.Emit("nand", "erase", a.trace.Scope(), now, done, int64(eraseStart.Sub(now)))
+				a.trace.Instant("fault", "erase.err", now, int64(die*a.geo.BlocksPerDie+block))
+			}
 			return done, herr
 		}
 	}
@@ -461,8 +486,12 @@ func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
 			a.data[base+PPA(p)] = nil
 		}
 	}
-	_, done = a.dies[die].Reserve(now, a.lat.BlockErase)
+	var eraseStart sim.Time
+	eraseStart, done = a.dies[die].Reserve(now, a.lat.BlockErase)
 	a.stats.Erases++
+	if a.trace != nil {
+		a.trace.Emit("nand", "erase", a.trace.Scope(), now, done, int64(eraseStart.Sub(now)))
+	}
 	return done, nil
 }
 

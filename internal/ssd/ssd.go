@@ -17,6 +17,7 @@ import (
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // FTL is the translation-layer contract the device front-end drives. Both
@@ -47,6 +48,10 @@ type Config struct {
 	// Metrics, when non-nil, counts retries and terminal failures
 	// (ssd.read_retry, ssd.write_retry, ssd.read_fail, ssd.write_fail).
 	Metrics *metrics.Counter
+	// Trace, when non-nil, records one ssd command span per
+	// WritePages/ReadPages/WriteScattered (Arg = page count) and instants
+	// for transient-error retries and terminal failures.
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -111,11 +116,13 @@ func (d *Device) readPage(now sim.Time, lpa int64) ([]byte, sim.Time, error) {
 			if nand.IsDeviceError(err) {
 				d.io.ReadFailures++
 				d.inc("ssd.read_fail")
+				d.cfg.Trace.Instant("ssd", "read.fail", done, lpa)
 			}
 			return nil, done, err
 		}
 		d.io.ReadRetries++
 		d.inc("ssd.read_retry")
+		d.cfg.Trace.Instant("ssd", "read.retry", done, int64(attempt+1))
 		now = done.Add(backoff)
 		backoff *= 2
 	}
@@ -136,11 +143,13 @@ func (d *Device) writePage(now sim.Time, lpa int64, data []byte, pid uint32) (si
 			if nand.IsDeviceError(err) {
 				d.io.WriteFailures++
 				d.inc("ssd.write_fail")
+				d.cfg.Trace.Instant("ssd", "write.fail", done, lpa)
 			}
 			return done, err
 		}
 		d.io.WriteRetries++
 		d.inc("ssd.write_retry")
+		d.cfg.Trace.Instant("ssd", "write.retry", done, int64(attempt+1))
 		now = done.Add(backoff)
 		backoff *= 2
 	}
@@ -160,10 +169,19 @@ func (d *Device) Stats() ftl.Stats { return d.ftl.BaseStats() }
 // completion time. Pages fan out to the FTL back to back, so die striping
 // below provides the parallelism; the command completes when its last page
 // is durable.
-func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32) (sim.Time, error) {
+func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32) (cmdDone sim.Time, err error) {
 	if len(pages) == 0 {
 		return now, nil
 	}
+	tr := d.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("ssd", "write", parent, now)
+	tr.SetArg(span, int64(len(pages)))
+	tr.SetScope(span)
+	defer func() {
+		tr.End(span, cmdDone)
+		tr.SetScope(parent)
+	}()
 	start := now.Add(d.cfg.CommandOverhead)
 	end := start
 	for i, p := range pages {
@@ -186,7 +204,16 @@ func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32)
 
 // ReadPages issues one read command covering n consecutive logical pages
 // starting at lpa. It returns the page contents and the completion time.
-func (d *Device) ReadPages(now sim.Time, lpa int64, n int64) ([][]byte, sim.Time, error) {
+func (d *Device) ReadPages(now sim.Time, lpa int64, n int64) (pages [][]byte, cmdDone sim.Time, err error) {
+	tr := d.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("ssd", "read", parent, now)
+	tr.SetArg(span, n)
+	tr.SetScope(span)
+	defer func() {
+		tr.End(span, cmdDone)
+		tr.SetScope(parent)
+	}()
 	start := now.Add(d.cfg.CommandOverhead)
 	end := start
 	out := make([][]byte, 0, n)
@@ -276,10 +303,19 @@ type PageWrite struct {
 // WriteScattered issues one command writing a set of (possibly
 // non-contiguous) pages, as produced by filesystem writeback batching. The
 // command completes when its last page is durable.
-func (d *Device) WriteScattered(now sim.Time, pages []PageWrite) (sim.Time, error) {
+func (d *Device) WriteScattered(now sim.Time, pages []PageWrite) (cmdDone sim.Time, err error) {
 	if len(pages) == 0 {
 		return now, nil
 	}
+	tr := d.cfg.Trace
+	parent := tr.Scope()
+	span := tr.Begin("ssd", "write.scattered", parent, now)
+	tr.SetArg(span, int64(len(pages)))
+	tr.SetScope(span)
+	defer func() {
+		tr.End(span, cmdDone)
+		tr.SetScope(parent)
+	}()
 	start := now.Add(d.cfg.CommandOverhead)
 	end := start
 	for _, p := range pages {

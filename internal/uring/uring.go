@@ -17,6 +17,7 @@ import (
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/vtrace"
 )
 
 // Op is a passthru command opcode.
@@ -39,8 +40,14 @@ type SQE struct {
 	N     int64    // OpRead / OpDeallocate: page count
 	PID   uint32   // FDP placement identifier
 
-	done   *sim.Signal
-	result *CQE
+	// Span optionally parents this command's trace span; when zero the
+	// ring falls back to the tracer's current scope at Submit time.
+	Span vtrace.SpanID
+
+	done      *sim.Signal
+	result    *CQE
+	span      vtrace.SpanID
+	submitted sim.Time
 }
 
 // CQE is a completion-queue entry. Status carries the NVMe-style status of
@@ -70,6 +77,10 @@ type Config struct {
 	// command (no block layer, no scheduler: cheaper than the kernel
 	// path's dispatch). Default 700 ns.
 	DispatchCPU sim.Duration
+	// Trace, when non-nil, records one uring command span per SQE
+	// (submit → completion post) with an sq.wait child covering the time
+	// the SQE sat in the submission queue. Nil disables tracing.
+	Trace *vtrace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -142,6 +153,15 @@ func (r *Ring) SQDepth() int { return len(r.sq) }
 func (r *Ring) Submit(env *sim.Env, sqe *SQE) *sim.Signal {
 	sqe.done = sim.NewSignal(r.eng)
 	r.stats.Submitted++
+	if tr := r.cfg.Trace; tr.Enabled() {
+		parent := sqe.Span
+		if parent == 0 {
+			parent = tr.Scope()
+		}
+		sqe.span = tr.Begin("uring", opName(sqe.Op), parent, env.Now())
+		tr.SetArg(sqe.span, sqe.pageCount())
+		sqe.submitted = env.Now()
+	}
 	env.Work("ring", r.cfg.RingOverhead)
 	if r.cfg.SQPoll {
 		r.sq = append(r.sq, sqe)
@@ -182,8 +202,37 @@ func (r *Ring) sqPoller(env *sim.Env) {
 	}
 }
 
+// opName maps an opcode to its trace span name.
+func opName(op Op) string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpDeallocate:
+		return "deallocate"
+	default:
+		return "unknown"
+	}
+}
+
+// pageCount is the page payload size of the command, for span args.
+func (s *SQE) pageCount() int64 {
+	if s.Op == OpWrite {
+		return int64(len(s.Pages))
+	}
+	return s.N
+}
+
 // issue translates an SQE into device operations and schedules its CQE.
 func (r *Ring) issue(now sim.Time, sqe *SQE) {
+	tr := r.cfg.Trace
+	prev := tr.Scope()
+	if sqe.span != 0 {
+		tr.Emit("uring", "sq.wait", sqe.span, sqe.submitted, now, 0)
+	}
+	tr.SetScope(sqe.span)
+	defer tr.SetScope(prev)
 	switch sqe.Op {
 	case OpWrite:
 		done, err := r.dev.WritePages(now, sqe.LPA, sqe.Pages, sqe.PID)
@@ -202,6 +251,7 @@ func (r *Ring) issue(now sim.Time, sqe *SQE) {
 // complete posts the CQE at time t; the CQ handler daemon fires the waiter.
 func (r *Ring) complete(t sim.Time, sqe *SQE, cqe *CQE) {
 	sqe.result = cqe
+	r.cfg.Trace.End(sqe.span, t)
 	r.eng.At(t, func() { r.cq.Push(sqe) })
 }
 

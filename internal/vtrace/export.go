@@ -1,0 +1,268 @@
+package vtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// layerOrder fixes the thread-lane ordering in exported traces: stack order
+// top to bottom, so a Perfetto timeline reads like the architecture diagram.
+// Layers not listed here get lanes after the known ones, sorted by name.
+var layerOrder = []string{
+	"op",       // per-request root spans (imdb submit → reply)
+	"imdb",     // engine: queueing, apply, group-commit wait, snapshots
+	"wal",      // WAL flush trees
+	"snapshot", // snapshot chunk trees
+	"core",     // SlimIO backend (io-passthru paths)
+	"baseline", // kernel-path backend (POSIX file ops)
+	"uring",    // ring submission/dispatch
+	"kernelio", // syscall / filesystem / page-cache stage
+	"sched",    // block-layer dispatch
+	"ssd",      // NVMe command layer
+	"ftl",      // conventional FTL (incl. GC)
+	"fdp",      // FDP placement (incl. reclaim)
+	"nand",     // page program/read, block erase
+	"fault",    // injected-fault instants
+}
+
+// laneTable assigns a deterministic tid to every layer present in a tracer.
+func laneTable(t *Tracer) (map[string]int, []string) {
+	present := make(map[string]bool)
+	for i := range t.spans {
+		present[t.spans[i].Layer] = true
+	}
+	for i := range t.events {
+		present[t.events[i].Layer] = true
+	}
+	lanes := make(map[string]int)
+	var ordered []string
+	for _, layer := range layerOrder {
+		if present[layer] {
+			lanes[layer] = len(ordered) + 1
+			ordered = append(ordered, layer)
+			delete(present, layer)
+		}
+	}
+	var rest []string
+	for layer := range present {
+		rest = append(rest, layer)
+	}
+	sort.Strings(rest)
+	for _, layer := range rest {
+		lanes[layer] = len(ordered) + 1
+		ordered = append(ordered, layer)
+	}
+	return lanes, ordered
+}
+
+// Export writes the registry's tracers as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable by Perfetto and chrome://tracing. Every
+// byte is deterministic: cells are ordered by sorted label (pid = order),
+// lanes by the fixed layerOrder table, events in recording order, and
+// timestamps are formatted by integer arithmetic (microseconds with fixed
+// 3-digit nanosecond remainder) — no floats, no map-order dependence.
+func (r *Registry) Export(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	labels := r.Labels()
+	for pidIdx, label := range labels {
+		t := r.Get(label)
+		exportTracer(bw, t, pidIdx+1, &first)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// ExportTracer writes a single tracer as a standalone trace (pid 1).
+func ExportTracer(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("vtrace: nil tracer")
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	exportTracer(bw, t, 1, &first)
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func exportTracer(bw *bufio.Writer, t *Tracer, pid int, first *bool) {
+	if t == nil {
+		return
+	}
+	lanes, ordered := laneTable(t)
+	sep := func() {
+		if *first {
+			*first = false
+			bw.WriteString("\n")
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+
+	sep()
+	bw.WriteString("{\"ph\":\"M\",\"pid\":")
+	writeInt(bw, int64(pid))
+	bw.WriteString(",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":")
+	writeString(bw, t.Label)
+	bw.WriteString("}}")
+	for _, layer := range ordered {
+		sep()
+		bw.WriteString("{\"ph\":\"M\",\"pid\":")
+		writeInt(bw, int64(pid))
+		bw.WriteString(",\"tid\":")
+		writeInt(bw, int64(lanes[layer]))
+		bw.WriteString(",\"name\":\"thread_name\",\"args\":{\"name\":")
+		writeString(bw, layer)
+		bw.WriteString("}}")
+	}
+
+	for i := range t.spans {
+		s := &t.spans[i]
+		sep()
+		bw.WriteString("{\"ph\":\"X\",\"pid\":")
+		writeInt(bw, int64(pid))
+		bw.WriteString(",\"tid\":")
+		writeInt(bw, int64(lanes[s.Layer]))
+		bw.WriteString(",\"ts\":")
+		writeUsec(bw, int64(s.Start))
+		bw.WriteString(",\"dur\":")
+		writeUsec(bw, int64(s.Dur()))
+		bw.WriteString(",\"name\":")
+		writeString(bw, s.Name)
+		bw.WriteString(",\"cat\":")
+		writeString(bw, s.Layer)
+		bw.WriteString(",\"args\":{\"id\":")
+		writeInt(bw, int64(s.ID))
+		bw.WriteString(",\"parent\":")
+		writeInt(bw, int64(s.Parent))
+		bw.WriteString(",\"v\":")
+		writeInt(bw, s.Arg)
+		bw.WriteString("}}")
+	}
+
+	for i := range t.events {
+		ev := &t.events[i]
+		sep()
+		bw.WriteString("{\"ph\":\"i\",\"s\":\"t\",\"pid\":")
+		writeInt(bw, int64(pid))
+		bw.WriteString(",\"tid\":")
+		writeInt(bw, int64(lanes[ev.Layer]))
+		bw.WriteString(",\"ts\":")
+		writeUsec(bw, int64(ev.At))
+		bw.WriteString(",\"name\":")
+		writeString(bw, ev.Name)
+		bw.WriteString(",\"cat\":")
+		writeString(bw, ev.Layer)
+		bw.WriteString(",\"args\":{\"v\":")
+		writeInt(bw, ev.Arg)
+		bw.WriteString("}}")
+	}
+}
+
+// writeUsec formats ns as microseconds with a fixed 3-digit fraction, using
+// only integer arithmetic (trace-event ts/dur are in microseconds).
+func writeUsec(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	var buf [24]byte
+	bw.Write(strconv.AppendInt(buf[:0], ns/1000, 10))
+	bw.WriteByte('.')
+	r := ns % 1000
+	bw.WriteByte(byte('0' + r/100))
+	bw.WriteByte(byte('0' + (r/10)%10))
+	bw.WriteByte(byte('0' + r%10))
+}
+
+func writeInt(bw *bufio.Writer, v int64) {
+	var buf [24]byte
+	bw.Write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+// writeString writes a JSON string literal. Labels and span names are
+// plain ASCII identifiers, but escape defensively anyway.
+func writeString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString("\\u00")
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}
+
+// traceEvent mirrors the fields ValidateTrace checks. Pointer fields
+// distinguish "absent" from zero.
+type traceEvent struct {
+	Ph   string   `json:"ph"`
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int64   `json:"pid"`
+	Tid  *int64   `json:"tid"`
+	S    string   `json:"s"`
+}
+
+// ValidateTrace parses data as trace-event JSON and checks the schema
+// invariants our exporter promises: a non-empty traceEvents array; every
+// event has a phase we emit (X, i, M) and a name; complete spans carry
+// non-negative ts/dur and pid/tid; instants carry ts and a scope. Used by
+// `make trace-smoke` and `slimio-inspect -checktrace`.
+func ValidateTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("vtrace: invalid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("vtrace: no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("vtrace: event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.TS == nil || ev.Dur == nil {
+				return fmt.Errorf("vtrace: event %d (%s): complete span missing ts/dur", i, ev.Name)
+			}
+			if *ev.TS < 0 || *ev.Dur < 0 {
+				return fmt.Errorf("vtrace: event %d (%s): negative ts/dur", i, ev.Name)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				return fmt.Errorf("vtrace: event %d (%s): span missing pid/tid", i, ev.Name)
+			}
+		case "i":
+			if ev.TS == nil {
+				return fmt.Errorf("vtrace: event %d (%s): instant missing ts", i, ev.Name)
+			}
+			if ev.S == "" {
+				return fmt.Errorf("vtrace: event %d (%s): instant missing scope", i, ev.Name)
+			}
+		case "M":
+			// metadata: name checked above
+		default:
+			return fmt.Errorf("vtrace: event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return nil
+}
