@@ -1,7 +1,7 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
 PR ?= 2
 
-.PHONY: build test race bench bench-smoke trace-smoke lint
+.PHONY: build test race bench bench-smoke trace-smoke check-smoke lint
 
 build:
 	go build ./...
@@ -39,6 +39,14 @@ bench:
 # benchmark-only regressions cheaply (used by CI).
 bench-smoke:
 	go test -short -run XXX -bench . -benchtime=1x ./...
+
+# Bounded-budget crash-consistency check on both backends (used by CI as a
+# blocking step): enumerate the crash-point lattice of the smoke workload,
+# stride-sample it, and judge every replay with the durability oracle. On
+# violation the shrunk repro lands in slimio-check-repro.json (CI uploads
+# it as an artifact) and the target fails.
+check-smoke:
+	go run ./cmd/slimio-check -backend both -ops 120 -budget 48 -out slimio-check-repro.json
 
 # Run a tiny traced cell end to end, export the Chrome trace-event JSON,
 # and validate it against the trace-event schema (used by CI, which also

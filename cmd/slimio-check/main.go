@@ -1,0 +1,197 @@
+// Command slimio-check runs the crash-consistency model checker
+// (internal/crashmc) against one or both persistence backends: it
+// enumerates the crash-point lattice of a seeded workload, replays a
+// power cut at each selected point, recovers, and judges the result with
+// the durability oracle. On violation it shrinks the schedule to a
+// smallest failing one and writes a repro file that -repro replays
+// bit-identically.
+//
+// Usage:
+//
+//	slimio-check                                  # full lattice, both backends
+//	slimio-check -backend slimio -budget 48       # CI-sized stride sample
+//	slimio-check -repro slimio-check-repro.json   # replay a written repro
+//	slimio-check -mutate                          # self-test: the checker must
+//	                                              # catch an injected ack bug
+//
+// Exit status: 0 when every checked cut satisfies the oracle (or the
+// repro/mutation behaves as expected), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/slimio/slimio/internal/crashmc"
+	"github.com/slimio/slimio/internal/metrics"
+)
+
+func main() {
+	var (
+		backend = flag.String("backend", "both", "backend to check: slimio, baseline, or both")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		ops     = flag.Int("ops", crashmc.DefaultOps, "workload length in client operations")
+		budget  = flag.Int("budget", 0, "max cuts to replay per backend (0 = the whole lattice)")
+		out     = flag.String("out", "slimio-check-repro.json", "where to write the shrunk repro on violation")
+		repro   = flag.String("repro", "", "replay this repro file instead of checking")
+		mutate  = flag.Bool("mutate", false, "self-test: inject an ack-without-sync bug and require the checker to catch it")
+	)
+	flag.Parse()
+
+	if *repro != "" {
+		os.Exit(replayRepro(*repro))
+	}
+
+	var targets []crashmc.Target
+	if *backend == "both" {
+		targets = crashmc.Targets
+	} else {
+		tgt, err := crashmc.ParseTarget(*backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []crashmc.Target{tgt}
+	}
+
+	w := crashmc.Workload{Seed: *seed, Ops: *ops}
+	if *mutate {
+		w.Mutation = crashmc.MutAckOnAppend
+	}
+	ctr := &metrics.Counter{}
+	status := 0
+	for _, tgt := range targets {
+		res, err := crashmc.Check(crashmc.Config{
+			Target:      tgt,
+			Workload:    w,
+			Budget:      *budget,
+			StopAtFirst: *mutate,
+			Metrics:     ctr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: lattice %d crash points over %v, %d cuts replayed, %d violations\n",
+			tgt, res.LatticeSize, res.End, res.CutsChecked, len(res.Violations))
+		for i := range res.Violations {
+			fmt.Printf("  VIOLATION %v\n", &res.Violations[i])
+		}
+		if *mutate {
+			if mutationCaught(tgt, w, res, *out) != 0 {
+				status = 1
+			}
+			continue
+		}
+		if len(res.Violations) > 0 {
+			status = 1
+			if err := writeRepro(tgt, w, res.Violations[0], *out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	printCounters(ctr)
+	os.Exit(status)
+}
+
+// writeRepro shrinks the first violation's schedule and serializes it.
+func writeRepro(tgt crashmc.Target, w crashmc.Workload, v crashmc.Violation, path string) error {
+	shrunk, sv, err := crashmc.Shrink(tgt, w, v.Cut)
+	if err != nil {
+		return fmt.Errorf("shrink: %w", err)
+	}
+	data, err := crashmc.NewRepro(tgt, shrunk, v.Cut, *sv).Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  shrunk %d ops -> %d, repro written to %s\n", w.Ops, shrunk.Ops, path)
+	return nil
+}
+
+// replayRepro re-runs a repro file and demands the identical violation.
+func replayRepro(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	r, err := crashmc.DecodeRepro(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	got, err := r.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	switch {
+	case got == nil:
+		fmt.Printf("%s: repro no longer fails the oracle (expected %v)\n", r.Target, &r.Violation)
+		return 1
+	case *got != r.Violation:
+		fmt.Printf("%s: repro fails differently:\n want %v\n  got %v\n", r.Target, &r.Violation, got)
+		return 1
+	}
+	fmt.Printf("%s: violation confirmed bit-identically: %v\n", r.Target, got)
+	return 0
+}
+
+// mutationCaught verifies the self-test: the injected bug must surface as
+// an acked-lost violation, shrink, replay bit-identically, and leave its
+// repro at out for a -repro round trip.
+func mutationCaught(tgt crashmc.Target, w crashmc.Workload, res *crashmc.Result, out string) int {
+	if len(res.Violations) == 0 {
+		fmt.Printf("  SELF-TEST FAILED: injected ack-without-sync bug not caught\n")
+		return 1
+	}
+	v := res.Violations[0]
+	shrunk, sv, err := crashmc.Shrink(tgt, w, v.Cut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	data, err := crashmc.NewRepro(tgt, shrunk, v.Cut, *sv).Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	r, err := crashmc.DecodeRepro(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	got, err := r.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if got == nil || *got != r.Violation {
+		fmt.Printf("  SELF-TEST FAILED: shrunk repro did not replay bit-identically\n")
+		return 1
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("  self-test ok: caught as %s, shrunk %d ops -> %d, repro replays bit-identically (written to %s)\n",
+		v.Code, w.Ops, shrunk.Ops, out)
+	return 0
+}
+
+// printCounters dumps the aggregate fault and checker counters in the same
+// sorted format slimio-bench uses. Silent when nothing was counted.
+func printCounters(ctr *metrics.Counter) {
+	kvs := ctr.Sorted()
+	if len(kvs) == 0 {
+		return
+	}
+	fmt.Println("Fault & checker counters (all backends):")
+	for _, kv := range kvs {
+		fmt.Printf("  %-24s %d\n", kv.Key, kv.Value)
+	}
+}

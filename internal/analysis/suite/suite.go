@@ -4,8 +4,11 @@
 //
 //   - wallclock, globalrand, rawgoroutine guard the deterministic
 //     simulation packages (internal/..., minus the analysis tooling
-//     itself): the experiment harness binaries under cmd/ legitimately
-//     measure wall time and never run inside the simulation.
+//     itself) — this automatically covers new simulation packages such as
+//     the crash-consistency model checker (internal/crashmc), whose
+//     replay-bit-identically contract depends on exactly these passes: the
+//     experiment harness binaries under cmd/ legitimately measure wall
+//     time and never run inside the simulation.
 //   - maporder applies module-wide (tooling included): ordered output must
 //     be a contract everywhere, harness and linter alike.
 //   - floatfold applies where float folds feed published numbers:

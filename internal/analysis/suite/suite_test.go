@@ -24,6 +24,10 @@ func TestScoping(t *testing.T) {
 		// Simulation packages get the full determinism contract.
 		{Module + "/internal/sim", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
 		{Module + "/internal/kernelio", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
+		// The crash-consistency model checker replays schedules
+		// bit-identically, so it must sit under the full determinism
+		// contract like any other simulation package.
+		{Module + "/internal/crashmc", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
 		// Metrics and the experiment harness additionally get floatfold.
 		{Module + "/internal/metrics", []string{"wallclock", "globalrand", "rawgoroutine", "maporder", "floatfold"}},
 		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "maporder", "floatfold"}},

@@ -1,188 +1,40 @@
-package core
+// Seeded crash-recovery corpus for the SlimIO backend, deduplicated onto
+// the shared model-checker harness (internal/crashmc): the workload shape,
+// stack construction, power-cut replay, and prefix check that used to live
+// here are now the checker's, and every seed is additionally judged by the
+// full durability oracle (ack, snapshot, and damage-report rules) instead
+// of the WAL-prefix check alone. Systematic lattice enumeration lives in
+// internal/crashmc's own tests; this corpus keeps a broad spread of
+// seed-derived single cuts running against this package.
+package core_test
 
 import (
-	"bytes"
-	"fmt"
-	"hash/fnv"
 	"testing"
 
-	"github.com/slimio/slimio/internal/fault"
-	"github.com/slimio/slimio/internal/imdb"
-	"github.com/slimio/slimio/internal/sim"
-	"github.com/slimio/slimio/internal/wal"
+	"github.com/slimio/slimio/internal/crashmc"
 )
 
-// testRNG is a local splitmix64 so the harness never touches math/rand
-// global state (seed reproducibility is part of the contract under test).
-func testRNG(seed int64) func() uint64 {
-	state := uint64(seed)
-	return func() uint64 {
-		state += 0x9e3779b97f4a7c15
-		z := state
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-}
-
-// crashRunResult summarizes one seeded crash run; two runs of the same seed
-// must produce identical values (the determinism half of the contract).
-type crashRunResult struct {
-	appended  int
-	acked     int
-	recovered int
-	digest    uint64
-	faults    fault.Stats
-}
-
-// runSlimIOCrashSeed drives a seed-derived workload of framed WAL appends
-// (many spanning multiple pages), syncs, rotations, and snapshot writes
-// against a SlimIO backend, pulls the power at a seed-derived virtual time
-// (in-flight programs tear), then recovers on a fresh engine over the same
-// device and checks the durable-prefix model: the recovered record sequence
-// is a prefix of the issued sequence no shorter than the acked count.
-func runSlimIOCrashSeed(t *testing.T, seed int64) crashRunResult {
-	t.Helper()
-	next := testRNG(seed)
-	eng := sim.NewEngine()
-	dev := newFDPDevice(t, 64)
-	be, err := New(eng, dev, Config{MetaPages: 8, SlotPages: 192})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	plan := fault.NewPlan(fault.Config{Seed: seed})
-	cut := sim.Time(sim.Duration(50+next()%40_000) * sim.Microsecond)
-	plan.SchedulePowerCut(cut)
-	dev.FTL().Array().SetFaultHook(plan)
-
-	var ops []wal.Record
-	appended, acked := 0, 0
-	eng.Spawn("client", func(env *sim.Env) {
-		sync := func() bool {
-			if err := be.WALSync(env); err != nil {
-				return false
-			}
-			acked = appended
-			return true
-		}
-		rotations := 0
-		for i := 0; i < 160; i++ {
-			key := []byte(fmt.Sprintf("k%05d", i))
-			val := bytes.Repeat([]byte{byte('a' + i%26)}, 40+int(next()%2000))
-			if err := be.WALAppend(env, wal.AppendRecord(nil, wal.OpSet, key, val)); err != nil {
-				return
-			}
-			ops = append(ops, wal.Record{Op: wal.OpSet, Key: key, Value: val})
-			appended++
-			r := next() % 100
-			if r < 35 && !sync() {
-				return
-			}
-			if r < 6 && rotations < 3 {
-				// Sync first so a sealed segment is always fully durable.
-				if !sync() {
-					return
-				}
-				if err := be.WALRotate(env); err != nil {
-					return
-				}
-				rotations++
-			}
-			if r >= 94 {
-				// A multi-page snapshot write for the cut to land inside.
-				sink, err := be.BeginSnapshot(env, imdb.WALSnapshot)
-				if err != nil {
-					return
-				}
-				img := bytes.Repeat([]byte{byte(next())}, int(4+next()%12)*testPageSize)
-				if err := sink.Write(env, img); err != nil {
-					sink.Abort(env)
-					return
-				}
-				if err := sink.Commit(env); err != nil {
-					return
-				}
-			}
-		}
-		sync()
-	})
-	eng.RunUntil(cut)
-	eng.Stop()
-
-	// Power restored: recovery reads a healthy, frozen device.
-	dev.FTL().Array().SetFaultHook(nil)
-
-	eng2 := sim.NewEngine()
-	be2, err := New(eng2, dev, Config{MetaPages: 8, SlotPages: 192})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rec *imdb.Recovered
-	eng2.Spawn("recover", func(env *sim.Env) {
-		r, err := be2.Recover(env)
-		if err != nil {
-			t.Errorf("seed %d: recover: %v", seed, err)
-			return
-		}
-		rec = r
-	})
-	eng2.Run()
-	if rec == nil {
-		t.Fatalf("seed %d: recovery produced nothing", seed)
-	}
-
-	recs := decodeSegments(rec)
-	checkRecordPrefix(t, fmt.Sprintf("slimio seed %d (cut %v)", seed, cut), recs, ops, acked)
-	return crashRunResult{
-		appended:  appended,
-		acked:     acked,
-		recovered: len(recs),
-		digest:    digestRecords(recs),
-		faults:    plan.Stats(),
-	}
-}
-
-// checkRecordPrefix asserts the durable-prefix model: recs must equal
-// ops[:len(recs)] with len(recs) >= acked (every synced record survives; an
-// unsynced tail may be lost but never reordered, corrupted, or invented).
-func checkRecordPrefix(t *testing.T, label string, recs, ops []wal.Record, acked int) {
-	t.Helper()
-	if len(recs) < acked {
-		t.Fatalf("%s: recovered %d records, but %d were acked durable", label, len(recs), acked)
-	}
-	if len(recs) > len(ops) {
-		t.Fatalf("%s: recovered %d records, only %d were ever appended", label, len(recs), len(ops))
-	}
-	for i, rc := range recs {
-		if rc.Op != ops[i].Op || !bytes.Equal(rc.Key, ops[i].Key) || !bytes.Equal(rc.Value, ops[i].Value) {
-			t.Fatalf("%s: record %d diverges from the issued sequence (key %q vs %q)",
-				label, i, rc.Key, ops[i].Key)
-		}
-	}
-}
-
-func digestRecords(recs []wal.Record) uint64 {
-	h := fnv.New64a()
-	for _, rc := range recs {
-		h.Write([]byte{byte(rc.Op)})
-		h.Write(rc.Key)
-		h.Write(rc.Value)
-	}
-	return h.Sum64()
-}
-
-// TestSeededCrashHarnessSlimIO runs the crash harness over many distinct
-// seeds. Each seed derives its own workload shape and power-cut instant; the
-// aggregate must include runs where the cut landed mid multi-page write
-// (torn pages injected) and runs that actually lost an unsynced tail —
-// otherwise the harness is not exercising what it claims to.
+// TestSeededCrashHarnessSlimIO sweeps the seed corpus. Each seed derives
+// its own workload and power-cut instant; the aggregate must include torn
+// pages (cuts landing mid-program) and lossy cuts (an unsynced tail that
+// recovery correctly drops), or the harness is not exercising the window
+// it claims to.
 func TestSeededCrashHarnessSlimIO(t *testing.T) {
+	seeds := int64(55)
+	if testing.Short() {
+		seeds = 12
+	}
 	var torn, lossy int64
-	for seed := int64(1); seed <= 55; seed++ {
-		res := runSlimIOCrashSeed(t, seed)
-		torn += res.faults.TornPrograms
-		if res.recovered < res.appended {
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, v, err := crashmc.RunSeed(crashmc.SlimIO, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v != nil {
+			t.Errorf("seed %d: oracle violation: %v", seed, v)
+		}
+		torn += res.Faults.TornPrograms
+		if res.Recovered < res.Appended {
 			lossy++
 		}
 	}
@@ -195,13 +47,22 @@ func TestSeededCrashHarnessSlimIO(t *testing.T) {
 }
 
 // TestSeededCrashDeterminismSlimIO: the same seed must reproduce the same
-// fault schedule, the same loss, and byte-identical recovered records.
+// cut, the same recovery, and the same fault counts, bit for bit.
 func TestSeededCrashDeterminismSlimIO(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
-		a := runSlimIOCrashSeed(t, seed)
-		b := runSlimIOCrashSeed(t, seed)
+		a, av, err := crashmc.RunSeed(crashmc.SlimIO, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, bv, err := crashmc.RunSeed(crashmc.SlimIO, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		if a != b {
 			t.Fatalf("seed %d not deterministic:\n first %+v\nsecond %+v", seed, a, b)
+		}
+		if (av == nil) != (bv == nil) {
+			t.Fatalf("seed %d: oracle verdict not deterministic: %v vs %v", seed, av, bv)
 		}
 	}
 }

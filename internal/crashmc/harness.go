@@ -1,0 +1,351 @@
+// Package crashmc is a deterministic crash-consistency model checker for
+// the two persistence backends (internal/core's SlimIO I/O passthru path
+// and internal/baseline's kernel path).
+//
+// Where the PR-1 seeded crash harness sampled one random power-cut instant
+// per seed, the checker enumerates the crash-point lattice: a recording
+// pass runs the workload once with a passive fault.Plan whose Recorder
+// harvests every durability-relevant event boundary — NAND program
+// start/completion (the torn-page window), block erases, and the
+// client-visible WAL append/sync/rotate and snapshot-commit returns. Every
+// distinct instant, plus its immediate predecessor (the torn variant),
+// becomes a candidate cut. Each cut is replayed bit-identically — same
+// seed, same workload, power pulled at exactly that instant — recovered,
+// and judged by a durability oracle built from the client-visible history
+// (see oracle.go). On violation a greedy shrinker minimizes the workload
+// prefix to a smallest failing schedule, serialized as a repro file that
+// cmd/slimio-check replays bit-identically.
+//
+// Determinism: the checker is strictly serial, uses a local splitmix64
+// stream, and never reads the wall clock, so it falls under every
+// slimio-vet determinism pass (wallclock/globalrand/rawgoroutine) like any
+// other simulation package.
+package crashmc
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/slimio/slimio/internal/baseline"
+	"github.com/slimio/slimio/internal/core"
+	"github.com/slimio/slimio/internal/exp"
+	"github.com/slimio/slimio/internal/fault"
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/wal"
+)
+
+// Target selects which backend stack the checker drives.
+type Target int
+
+const (
+	// SlimIO is the I/O-passthru backend on an FDP SSD (internal/core).
+	SlimIO Target = iota
+	// Baseline is the kernel-path backend on a conventional SSD
+	// (internal/baseline over kernelio's f2fs profile).
+	Baseline
+)
+
+// Targets lists every checkable target in reporting order.
+var Targets = []Target{SlimIO, Baseline}
+
+func (t Target) String() string {
+	if t == Baseline {
+		return exp.BaselineF2FS.String()
+	}
+	return exp.SlimIOFDP.String()
+}
+
+// Kind maps the target to its experiment-harness stack kind.
+func (t Target) Kind() exp.BackendKind {
+	if t == Baseline {
+		return exp.BaselineF2FS
+	}
+	return exp.SlimIOFDP
+}
+
+// ParseTarget accepts both the short CLI spellings and the stack labels.
+func ParseTarget(s string) (Target, error) {
+	switch s {
+	case "slimio", exp.SlimIOFDP.String():
+		return SlimIO, nil
+	case "baseline", exp.BaselineF2FS.String():
+		return Baseline, nil
+	}
+	return 0, fmt.Errorf("crashmc: unknown target %q", s)
+}
+
+// Mutation deliberately breaks the harness's durability accounting, so the
+// checker can prove it detects oracle violations (the model checker's own
+// mutation test).
+type Mutation int
+
+const (
+	// MutNone is the honest harness.
+	MutNone Mutation = iota
+	// MutAckOnAppend claims durability at WALAppend return without waiting
+	// for WALSync — the classic forgot-to-fsync bug. Any cut between an
+	// append's return and the covering sync's completion then loses
+	// "acked" records, which the oracle must flag.
+	MutAckOnAppend
+)
+
+// DefaultOps is the standard workload length (matches the PR-1 harness).
+const DefaultOps = 160
+
+// Workload derives a deterministic client schedule from a seed: framed WAL
+// appends (sizes from the seed stream), syncs, up to three rotations, and
+// multi-page WAL-snapshot writes, the same shape as the PR-1 seeded crash
+// harness so the seed corpus carries over.
+type Workload struct {
+	Seed     int64
+	Ops      int
+	Mutation Mutation
+}
+
+// withDefaults fills the zero-value workload length.
+func (w Workload) withDefaults() Workload {
+	if w.Ops <= 0 {
+		w.Ops = DefaultOps
+	}
+	return w
+}
+
+// SnapEvent is the client-visible life of one snapshot write.
+type SnapEvent struct {
+	// Img is the exact image handed to the sink.
+	Img []byte
+	// CommitInFlight is true from the Commit call until it returns; in
+	// that window a crash may legitimately surface the new image, the
+	// previous one, or (kernel path: delete-then-rename) none at all.
+	CommitInFlight bool
+	// Committed is true once Commit returned: the image was acked durable.
+	Committed bool
+}
+
+// History is the client-visible record of one run, maintained by the
+// driver as it executes; when the engine stops at a cut, the history holds
+// exactly what a client had observed by that instant.
+type History struct {
+	// Ops are the appended records in issue order.
+	Ops []wal.Record
+	// Acked counts the leading ops covered by a returned WALSync.
+	Acked int
+	// Snaps are the snapshot writes in issue order.
+	Snaps []*SnapEvent
+}
+
+// rng returns a local splitmix64 stream; the checker never touches
+// math/rand global state (seed reproducibility is the contract under test).
+func rng(seed int64) func() uint64 {
+	state := uint64(seed)
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// drive executes the seeded workload against be. mark, when non-nil,
+// receives every client-visible return instant for lattice harvesting.
+func drive(env *sim.Env, be imdb.Backend, w Workload, pageSize int, h *History, mark func(kind string, t sim.Time)) {
+	next := rng(w.Seed)
+	note := func(kind string) {
+		if mark != nil {
+			mark(kind, env.Now())
+		}
+	}
+	sync := func() bool {
+		if err := be.WALSync(env); err != nil {
+			return false
+		}
+		h.Acked = len(h.Ops)
+		note("sync.return")
+		return true
+	}
+	rotations := 0
+	for i := 0; i < w.Ops; i++ {
+		key := []byte(fmt.Sprintf("k%05d", i))
+		val := bytes.Repeat([]byte{byte('a' + i%26)}, 40+int(next()%2000))
+		if err := be.WALAppend(env, wal.AppendRecord(nil, wal.OpSet, key, val)); err != nil {
+			return
+		}
+		h.Ops = append(h.Ops, wal.Record{Op: wal.OpSet, Key: key, Value: val})
+		if w.Mutation == MutAckOnAppend {
+			// Injected oracle bug: claim durability at append return, as
+			// an engine that forgot to fsync would.
+			h.Acked = len(h.Ops)
+		}
+		note("append.return")
+		r := next() % 100
+		if r < 35 && !sync() {
+			return
+		}
+		if r < 6 && rotations < 3 {
+			// Sync first so a sealed segment is always fully durable.
+			if !sync() {
+				return
+			}
+			if err := be.WALRotate(env); err != nil {
+				return
+			}
+			rotations++
+			note("rotate.return")
+		}
+		if r >= 94 {
+			// A multi-page snapshot write for a cut to land inside.
+			sink, err := be.BeginSnapshot(env, imdb.WALSnapshot)
+			if err != nil {
+				return
+			}
+			img := bytes.Repeat([]byte{byte(next())}, int(4+next()%12)*pageSize)
+			se := &SnapEvent{Img: img}
+			h.Snaps = append(h.Snaps, se)
+			if err := sink.Write(env, img); err != nil {
+				sink.Abort(env)
+				return
+			}
+			note("snap.write.return")
+			se.CommitInFlight = true
+			if err := sink.Commit(env); err != nil {
+				return
+			}
+			se.CommitInFlight = false
+			se.Committed = true
+			note("snap.commit.return")
+		}
+	}
+	sync()
+}
+
+// Device sizing for checker stacks: small enough that hundreds of replays
+// stay cheap, big enough that DefaultGeometry keeps its 16-blocks-per-die
+// GC headroom floor.
+const (
+	deviceBytes = 64 << 20
+	slotBytes   = 1 << 20
+)
+
+// runOutcome is everything one replay produces: the client-visible history
+// up to the cut, the recovered state, and the injected-fault stats.
+type runOutcome struct {
+	Hist   *History
+	Rec    *imdb.Recovered
+	Faults fault.Stats
+	// End is the cut instant, or the natural end of a full run.
+	End sim.Time
+}
+
+// runOnce builds a fresh stack for tgt, drives the workload, and recovers.
+// cut == 0 runs to completion (the recording pass); cut > 0 pulls power at
+// that instant (in-flight programs tear, nothing past it executes) before
+// recovering on a fresh engine over the frozen device.
+func runOnce(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func(string, sim.Time)) (*runOutcome, error) {
+	sc := exp.Scale{
+		Name:          "crashmc",
+		DeviceBytes:   deviceBytes,
+		SlotBytes:     slotBytes,
+		FaultRecorder: rec,
+	}
+	eng := sim.NewEngine()
+	st, err := exp.BuildStack(eng, tgt.Kind(), sc)
+	if err != nil {
+		return nil, err
+	}
+	// Unwind parked processes so replays do not pile up leaked stacks.
+	defer eng.Shutdown()
+	if cut > 0 {
+		st.ArmPowerCut(cut)
+	}
+	pageSize := st.Dev.PageSize()
+	hist := &History{}
+	eng.Spawn("client", func(env *sim.Env) {
+		drive(env, st.Backend, w, pageSize, hist, mark)
+	})
+	end := cut
+	if cut > 0 {
+		eng.RunUntil(cut)
+		eng.Stop()
+	} else {
+		end = eng.Run()
+	}
+	// Power restored: recovery reads a healthy, frozen device.
+	st.Dev.FTL().Array().SetFaultHook(nil)
+
+	eng2 := sim.NewEngine()
+	defer eng2.Shutdown()
+	var be2 imdb.Backend
+	switch tgt {
+	case SlimIO:
+		nbe, err := core.New(eng2, st.Dev, core.Config{SlotPages: slotBytes / int64(pageSize)})
+		if err != nil {
+			return nil, fmt.Errorf("crashmc: %s reopen (cut %v): %w", tgt, cut, err)
+		}
+		be2 = nbe
+	case Baseline:
+		nbe, err := baseline.Remount(st.FS.Remount(eng2))
+		if err != nil {
+			return nil, fmt.Errorf("crashmc: %s remount (cut %v): %w", tgt, cut, err)
+		}
+		be2 = nbe
+	default:
+		return nil, fmt.Errorf("crashmc: unknown target %d", tgt)
+	}
+	var recd *imdb.Recovered
+	var recErr error
+	eng2.Spawn("recover", func(env *sim.Env) {
+		recd, recErr = be2.Recover(env)
+	})
+	eng2.Run()
+	if recErr != nil {
+		return nil, fmt.Errorf("crashmc: %s recover (cut %v): %w", tgt, cut, recErr)
+	}
+	if recd == nil {
+		return nil, fmt.Errorf("crashmc: %s recovery produced nothing (cut %v)", tgt, cut)
+	}
+	return &runOutcome{Hist: hist, Rec: recd, Faults: st.Fault.Stats(), End: end}, nil
+}
+
+// SeedResult summarizes one seeded crash run; two runs with the same seed
+// must be identical (the determinism half of the contract).
+type SeedResult struct {
+	Cut       sim.Time
+	Appended  int
+	Acked     int
+	Recovered int
+	Digest    uint64
+	Faults    fault.Stats
+}
+
+// RunSeed replicates the PR-1 seeded crash harness on the shared
+// model-checker machinery: a recording pass measures the workload's span,
+// the seed picks one cut inside it, and the replay is judged by the full
+// durability oracle rather than only the WAL-prefix check. It backs the
+// deduplicated seed-corpus tests in internal/core and internal/baseline.
+func RunSeed(tgt Target, seed int64) (SeedResult, *Violation, error) {
+	w := Workload{Seed: seed, Ops: DefaultOps}
+	full, err := runOnce(tgt, w, 0, nil, nil)
+	if err != nil {
+		return SeedResult{}, nil, err
+	}
+	// A distinct stream for the cut draw, so it is not correlated with the
+	// workload's first value-size draw.
+	next := rng(^seed)
+	cut := sim.Time(1 + next()%uint64(full.End))
+	out, err := runOnce(tgt, w, cut, nil, nil)
+	if err != nil {
+		return SeedResult{}, nil, err
+	}
+	recs := decodeSegments(out.Rec)
+	res := SeedResult{
+		Cut:       cut,
+		Appended:  len(out.Hist.Ops),
+		Acked:     out.Hist.Acked,
+		Recovered: len(recs),
+		Digest:    digestRecords(recs),
+		Faults:    out.Faults,
+	}
+	return res, checkOracle(tgt, cut, out.Hist, out.Rec), nil
+}

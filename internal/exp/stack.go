@@ -100,6 +100,12 @@ type Scale struct {
 	// Metrics, when non-nil, collects fault/retry/retirement counters from
 	// every layer of the stack for the bench summary.
 	Metrics *metrics.Counter
+	// FaultRecorder, when non-nil, is attached to the fault plan before
+	// installation so the crash model checker (internal/crashmc) can
+	// harvest every device-level operation boundary as a crash-point
+	// candidate. A recorder activates an otherwise-zero plan but injects
+	// nothing and consumes no randomness.
+	FaultRecorder fault.Recorder
 
 	// Parallel bounds how many experiment cells run concurrently (each cell
 	// is an independent deterministic simulation; results and output order
@@ -204,6 +210,7 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 		EraseErrRate:   sc.EraseErrRate,
 		Metrics:        sc.Metrics,
 	})
+	plan.SetRecorder(sc.FaultRecorder)
 	st.Fault = plan
 	if plan.Active() {
 		arr.SetFaultHook(plan)

@@ -45,12 +45,68 @@ type Config struct {
 	Metrics *metrics.Counter
 }
 
+// Counter names used for injected faults, shared by the live per-fault
+// increments (Config.Metrics) and Stats.AddTo so both paths agree byte for
+// byte in a sorted counter dump.
+const (
+	CounterReadErr     = "fault.read_err"
+	CounterProgramErr  = "fault.program_err"
+	CounterEraseErr    = "fault.erase_err"
+	CounterTornProgram = "fault.torn_program"
+)
+
 // Stats counts the faults a plan actually injected.
 type Stats struct {
 	ReadErrors    int64
 	ProgramErrors int64
 	EraseErrors   int64
 	TornPrograms  int64
+}
+
+// Add accumulates other into s (aggregating plans across replays).
+func (s *Stats) Add(other Stats) {
+	s.ReadErrors += other.ReadErrors
+	s.ProgramErrors += other.ProgramErrors
+	s.EraseErrors += other.EraseErrors
+	s.TornPrograms += other.TornPrograms
+}
+
+// AddTo exports the counts into c under the same names a live plan uses,
+// so harnesses that build plans without Config.Metrics (the crash checker
+// spins up one plan per replay) still surface totals in the sorted counter
+// dump slimio-bench and slimio-check print. Zero counts are skipped to keep
+// fault-free dumps empty.
+func (s Stats) AddTo(c *metrics.Counter) {
+	for _, kv := range []struct {
+		name string
+		n    int64
+	}{
+		{CounterReadErr, s.ReadErrors},
+		{CounterProgramErr, s.ProgramErrors},
+		{CounterEraseErr, s.EraseErrors},
+		{CounterTornProgram, s.TornPrograms},
+	} {
+		if kv.n != 0 {
+			c.Inc(kv.name, kv.n)
+		}
+	}
+}
+
+// Recorder observes every device-level operation boundary the plan is
+// consulted on: program start/completion, erase, read. The crash model
+// checker (internal/crashmc) attaches one to a passive plan to harvest the
+// crash-point lattice — the set of virtual instants where pulling power
+// yields a distinct device state. A recorder must not mutate simulation
+// state; it only collects timestamps.
+type Recorder interface {
+	// RecordRead is called for every page read at its issue time.
+	RecordRead(now sim.Time, ppa nand.PPA)
+	// RecordProgram is called for every page program with its issue and
+	// completion times. A power cut in [start, done) tears the page; a cut
+	// at or after done leaves it intact.
+	RecordProgram(start, done sim.Time, ppa nand.PPA)
+	// RecordErase is called for every block erase at its issue time.
+	RecordErase(now sim.Time, die, block int)
 }
 
 // Plan is one deterministic fault schedule. It satisfies nand.FaultHook.
@@ -60,6 +116,7 @@ type Plan struct {
 	cutAt    sim.Time
 	cutArmed bool
 	stats    Stats
+	rec      Recorder
 }
 
 var _ nand.FaultHook = (*Plan)(nil)
@@ -69,11 +126,19 @@ func NewPlan(cfg Config) *Plan {
 	return &Plan{cfg: cfg, rng: splitmix{state: uint64(cfg.Seed)}}
 }
 
-// Active reports whether the plan can inject anything at all. BuildStack
-// skips installing an inactive plan so the hook stays nil (strict no-op).
+// Active reports whether the plan needs to be installed at all: it can
+// inject something, or a recorder wants to observe operation boundaries.
+// BuildStack skips installing an inactive plan so the hook stays nil
+// (strict no-op).
 func (p *Plan) Active() bool {
-	return p.cfg.ReadErrRate > 0 || p.cfg.ProgramErrRate > 0 || p.cfg.EraseErrRate > 0 || p.cutArmed
+	return p.cfg.ReadErrRate > 0 || p.cfg.ProgramErrRate > 0 || p.cfg.EraseErrRate > 0 || p.cutArmed || p.rec != nil
 }
+
+// SetRecorder attaches (or clears) a boundary recorder. A recorder
+// activates an otherwise-zero plan; with every rate at zero it observes
+// without injecting, consuming no randomness, so a recorded run stays
+// bit-identical to an unhooked one.
+func (p *Plan) SetRecorder(r Recorder) { p.rec = r }
 
 // SchedulePowerCut arms a power cut at virtual time at: programs completing
 // after it become torn. The harness pairs this with eng.RunUntil(at) +
@@ -97,9 +162,12 @@ func (p *Plan) count(name string) {
 
 // ReadFault implements nand.FaultHook.
 func (p *Plan) ReadFault(now sim.Time, ppa nand.PPA) error {
+	if p.rec != nil {
+		p.rec.RecordRead(now, ppa)
+	}
 	if p.cfg.ReadErrRate > 0 && p.rng.float64() < p.cfg.ReadErrRate {
 		p.stats.ReadErrors++
-		p.count("fault.read_err")
+		p.count(CounterReadErr)
 		return &nand.DeviceError{Status: nand.StatusUnrecoveredRead, Transient: true, Op: "read", PPA: ppa}
 	}
 	return nil
@@ -108,14 +176,17 @@ func (p *Plan) ReadFault(now sim.Time, ppa nand.PPA) error {
 // ProgramFault implements nand.FaultHook. The power-cut check comes first: a
 // program still in flight when power dies is torn regardless of media health.
 func (p *Plan) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.ProgramDecision {
+	if p.rec != nil {
+		p.rec.RecordProgram(now, done, ppa)
+	}
 	if p.cutArmed && done > p.cutAt {
 		p.stats.TornPrograms++
-		p.count("fault.torn_program")
+		p.count(CounterTornProgram)
 		return nand.ProgramDecision{Outcome: nand.ProgramTorn, Torn: p.tornImage(data)}
 	}
 	if p.cfg.ProgramErrRate > 0 && p.rng.float64() < p.cfg.ProgramErrRate {
 		p.stats.ProgramErrors++
-		p.count("fault.program_err")
+		p.count(CounterProgramErr)
 		return nand.ProgramDecision{Outcome: nand.ProgramFail}
 	}
 	return nand.ProgramDecision{}
@@ -123,9 +194,12 @@ func (p *Plan) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.
 
 // EraseFault implements nand.FaultHook.
 func (p *Plan) EraseFault(now sim.Time, die, block int) error {
+	if p.rec != nil {
+		p.rec.RecordErase(now, die, block)
+	}
 	if p.cfg.EraseErrRate > 0 && p.rng.float64() < p.cfg.EraseErrRate {
 		p.stats.EraseErrors++
-		p.count("fault.erase_err")
+		p.count(CounterEraseErr)
 		return &nand.DeviceError{Status: nand.StatusEraseFault, Op: "erase", PPA: nand.InvalidPPA}
 	}
 	return nil

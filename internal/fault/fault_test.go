@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 )
@@ -178,5 +179,82 @@ func TestZeroRatePlanBitIdentical(t *testing.T) {
 	d2, t2 := run(true)
 	if !bytes.Equal(d1, d2) || t1 != t2 {
 		t.Fatalf("zero-rate plan shifted results: bytes equal=%v, time %v vs %v", bytes.Equal(d1, d2), t1, t2)
+	}
+}
+
+// recordingSink captures Recorder callbacks for the seam test.
+type recordingSink struct {
+	reads, programs, erases int
+}
+
+func (r *recordingSink) RecordRead(now sim.Time, ppa nand.PPA)            { r.reads++ }
+func (r *recordingSink) RecordProgram(start, done sim.Time, ppa nand.PPA) { r.programs++ }
+func (r *recordingSink) RecordErase(now sim.Time, die, block int)         { r.erases++ }
+
+// TestRecorderSeam: attaching a Recorder activates an otherwise-zero plan
+// (so the NAND array consults it), every boundary reaches the recorder, and
+// no fault is injected and no randomness consumed while recording.
+func TestRecorderSeam(t *testing.T) {
+	p := NewPlan(Config{Seed: 7})
+	sink := &recordingSink{}
+	p.SetRecorder(sink)
+	if !p.Active() {
+		t.Fatal("plan with a recorder must report Active")
+	}
+	before := p.rng.state
+	data := bytes.Repeat([]byte("x"), 64)
+	if err := p.ReadFault(0, 0); err != nil {
+		t.Fatalf("read fault while recording: %v", err)
+	}
+	if d := p.ProgramFault(0, 100, 0, data); d.Outcome != nand.ProgramOK {
+		t.Fatalf("program decision = %v, want ProgramOK", d.Outcome)
+	}
+	if err := p.EraseFault(0, 0, 0); err != nil {
+		t.Fatalf("erase fault while recording: %v", err)
+	}
+	if sink.reads != 1 || sink.programs != 1 || sink.erases != 1 {
+		t.Fatalf("recorder saw %d/%d/%d boundaries, want 1/1/1", sink.reads, sink.programs, sink.erases)
+	}
+	if p.rng.state != before {
+		t.Fatal("recording consumed randomness")
+	}
+	if p.Stats() != (Stats{}) {
+		t.Fatalf("recording counted faults: %+v", p.Stats())
+	}
+	p.SetRecorder(nil)
+	if p.Active() {
+		t.Fatal("clearing the recorder must deactivate a zero-rate plan")
+	}
+}
+
+// TestStatsAddAndAddTo: replay aggregation and the counter export skip
+// zeroes so fault-free dumps stay empty.
+func TestStatsAddAndAddTo(t *testing.T) {
+	var s Stats
+	s.Add(Stats{ReadErrors: 2, TornPrograms: 3})
+	s.Add(Stats{TornPrograms: 1, EraseErrors: 4})
+	want := Stats{ReadErrors: 2, EraseErrors: 4, TornPrograms: 4}
+	if s != want {
+		t.Fatalf("Add: got %+v, want %+v", s, want)
+	}
+	ctr := &metrics.Counter{}
+	s.AddTo(ctr)
+	if got := ctr.Get(CounterReadErr); got != 2 {
+		t.Errorf("%s = %d, want 2", CounterReadErr, got)
+	}
+	if got := ctr.Get(CounterEraseErr); got != 4 {
+		t.Errorf("%s = %d, want 4", CounterEraseErr, got)
+	}
+	if got := ctr.Get(CounterTornProgram); got != 4 {
+		t.Errorf("%s = %d, want 4", CounterTornProgram, got)
+	}
+	kvs := ctr.Sorted()
+	for _, kv := range kvs {
+		if kv.Key == CounterProgramErr {
+			t.Errorf("zero count %s exported; fault-free dumps must stay empty", CounterProgramErr)
+		}
+	}
+	if (Stats{}).AddTo(ctr); len(ctr.Sorted()) != len(kvs) {
+		t.Error("zero Stats.AddTo added counters")
 	}
 }
