@@ -1,7 +1,7 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
-PR ?= 2
+PR ?= 3
 
-.PHONY: build test race bench bench-smoke trace-smoke check-smoke lint
+.PHONY: build test race bench bench-smoke bench-compare trace-smoke check-smoke lint
 
 build:
 	go build ./...
@@ -9,8 +9,12 @@ build:
 test:
 	go test ./...
 
+# The race detector runs the full data plane with bufpool's per-segment
+# acquire/release site tracking enabled (debug_race.go), so the heaviest
+# experiment packages need more than go test's default 10m per-package
+# timeout.
 race:
-	go test -race ./...
+	go test -race -timeout 30m ./...
 
 # Single local lint entry point, mirrored by the CI lint job: formatting,
 # the stock vet suite, the repo's own determinism-contract suite
@@ -39,6 +43,13 @@ bench:
 # benchmark-only regressions cheaply (used by CI).
 bench-smoke:
 	go test -short -run XXX -bench . -benchtime=1x ./...
+
+# Re-run the suite and diff its allocator traffic against the committed
+# BENCH_$(PR).json: more than 15% growth in any experiment's allocs or
+# alloc_bytes fails (used by CI as a blocking step). Wall clock is printed
+# but never gates — CI machines vary, allocator traffic does not.
+bench-compare:
+	go run ./cmd/slimio-bench -exp all -compare BENCH_$(PR).json
 
 # Bounded-budget crash-consistency check on both backends (used by CI as a
 # blocking step): enumerate the crash-point lattice of the smoke workload,

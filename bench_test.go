@@ -214,7 +214,9 @@ func runAblationCell(b *testing.B, kind exp.BackendKind, sc exp.Scale) *exp.Cell
 		b.Fatal(err)
 	}
 	res.Stack.Eng.Shutdown()
-	res.ReleaseHeavy()
+	if err := res.ReleaseHeavy(); err != nil {
+		b.Fatal(err)
+	}
 	return res
 }
 

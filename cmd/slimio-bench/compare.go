@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// compareReports diffs this run's allocator traffic against a committed
+// BENCH_*.json snapshot and returns an error when any experiment's allocs
+// or alloc_bytes grew by more than tolerance (fractional, e.g. 0.15). The
+// full delta table prints either way, so CI logs show where the traffic
+// went even on a pass. Wall clock is reported but never gates: CI machines
+// vary, allocator traffic does not.
+func compareReports(baselinePath string, cur *benchReport, tolerance float64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("compare: parsing %s: %w", baselinePath, err)
+	}
+	if base.Scale != cur.Scale {
+		return fmt.Errorf("compare: scale mismatch: baseline %s is %q, this run is %q",
+			baselinePath, base.Scale, cur.Scale)
+	}
+	byName := make(map[string]benchRecord, len(base.Experiments))
+	for _, r := range base.Experiments {
+		byName[r.Name] = r
+	}
+
+	pct := func(old, new int64) float64 {
+		if old == 0 {
+			return 0
+		}
+		return 100 * (float64(new) - float64(old)) / float64(old)
+	}
+	var regressions []string
+	var oldAllocs, newAllocs, oldBytes, newBytes int64
+	fmt.Printf("Allocator traffic vs %s (tolerance %+.0f%%):\n", baselinePath, 100*tolerance)
+	fmt.Printf("%-10s %14s %9s %16s %9s\n", "exp", "allocs", "delta", "alloc_bytes", "delta")
+	for _, r := range cur.Experiments {
+		old, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-10s %14d %9s %16d %9s\n", r.Name, r.Allocs, "new", r.AllocBytes, "new")
+			continue
+		}
+		oldAllocs += old.Allocs
+		newAllocs += r.Allocs
+		oldBytes += old.AllocBytes
+		newBytes += r.AllocBytes
+		fmt.Printf("%-10s %14d %+8.1f%% %16d %+8.1f%%\n",
+			r.Name, r.Allocs, pct(old.Allocs, r.Allocs), r.AllocBytes, pct(old.AllocBytes, r.AllocBytes))
+		if float64(r.Allocs) > float64(old.Allocs)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs %d -> %d (%+.1f%%)", r.Name, old.Allocs, r.Allocs, pct(old.Allocs, r.Allocs)))
+		}
+		if float64(r.AllocBytes) > float64(old.AllocBytes)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: alloc_bytes %d -> %d (%+.1f%%)", r.Name, old.AllocBytes, r.AllocBytes, pct(old.AllocBytes, r.AllocBytes)))
+		}
+	}
+	fmt.Printf("%-10s %14d %+8.1f%% %16d %+8.1f%%\n\n",
+		"total", newAllocs, pct(oldAllocs, newAllocs), newBytes, pct(oldBytes, newBytes))
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: allocator regression beyond %.0f%% tolerance:\n  %s",
+			100*tolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no allocator regressions")
+	return nil
+}

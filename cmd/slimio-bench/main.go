@@ -43,6 +43,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		vtraceOut  = flag.String("vtrace", "", "trace the run and write a Chrome trace-event JSON file (requires a single -exp)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall-clock/allocs/throughput records to this JSON file")
+		compare    = flag.String("compare", "", "compare this run's allocator traffic against a committed BENCH_*.json and fail on regression")
+		tolerance  = flag.Float64("tolerance", 0.15, "allowed fractional allocs/alloc_bytes growth before -compare fails")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
@@ -132,6 +134,14 @@ func main() {
 		sc.Trace = vtrace.NewRegistry()
 	}
 
+	// Per-cell alloc attribution needs serial cells: MemStats deltas are
+	// process-wide, so concurrent cells would bill each other's traffic.
+	var cellSink *exp.CellCostSink
+	if (*benchJSON != "" || *compare != "") && (*parallel == 1 || runtime.GOMAXPROCS(0) == 1) {
+		cellSink = &exp.CellCostSink{}
+		sc.CellCosts = cellSink
+	}
+
 	start := time.Now()
 	report := benchReport{Scale: sc.Name, Parallel: *parallel, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
@@ -149,13 +159,17 @@ func main() {
 		wall := time.Since(t0).Seconds()
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
-		report.Experiments = append(report.Experiments, benchRecord{
+		rec := benchRecord{
 			Name:        name,
 			WallSeconds: wall,
 			Allocs:      int64(m1.Mallocs - m0.Mallocs),
 			AllocBytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
 			VirtualRPS:  virtualRPS(out),
-		})
+		}
+		if cellSink != nil {
+			rec.Cells = cellSink.Drain()
+		}
+		report.Experiments = append(report.Experiments, rec)
 		fmt.Println(out.String())
 		fmt.Printf("(%s finished in %.1fs wall time)\n\n", name, wall)
 		// Each experiment holds a full simulated device (real page bytes);
@@ -180,8 +194,8 @@ func main() {
 	}
 	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
 
+	report.TotalWallSeconds = time.Since(start).Seconds()
 	if *benchJSON != "" {
-		report.TotalWallSeconds = time.Since(start).Seconds()
 		buf, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -193,6 +207,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	if *compare != "" {
+		if err := compareReports(*compare, &report, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -207,13 +227,16 @@ type benchReport struct {
 }
 
 // benchRecord is one experiment's cost: wall clock, allocator traffic, and
-// the virtual-time throughput the simulated systems achieved.
+// the virtual-time throughput the simulated systems achieved. Cells breaks
+// the allocator traffic down per experiment cell (serial runs only), so a
+// regression is attributable to one configuration rather than one table.
 type benchRecord struct {
-	Name        string  `json:"name"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Allocs      int64   `json:"allocs"`
-	AllocBytes  int64   `json:"alloc_bytes"`
-	VirtualRPS  float64 `json:"virtual_rps,omitempty"`
+	Name        string         `json:"name"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Allocs      int64          `json:"allocs"`
+	AllocBytes  int64          `json:"alloc_bytes"`
+	VirtualRPS  float64        `json:"virtual_rps,omitempty"`
+	Cells       []exp.CellCost `json:"cells,omitempty"`
 }
 
 // virtualRPS extracts a representative virtual-time request rate from an

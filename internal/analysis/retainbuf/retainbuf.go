@@ -1,0 +1,193 @@
+// Package retainbuf flags uses of a pooled segment's backing slice after
+// the segment has been released.
+package retainbuf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/slimio/slimio/internal/analysis"
+)
+
+// Doc's first line is the summary; the rest is the -explain rationale.
+const Doc = `forbid use of a pooled segment's backing slice past its Release
+
+The zero-copy write path hands bufpool segments from the WAL encoder through
+the rings to the NAND array; Release recycles a segment the moment its last
+reference drops, so a slice obtained from Segment.Bytes (or a Ref's B field)
+is valid only while the holder keeps a reference. Code that releases first
+and reads later observes whatever payload the pool's next writer encodes —
+a silent cross-request corruption no test reliably catches, because the
+recycling order depends on the workload. The pass tracks, within one
+function, variables bound to a segment's backing slice and reports any use
+after a Release/ReleaseAt of that segment; direct Bytes()/.B accesses on a
+released local are reported too. Copy the bytes out (AppendTo) or hold a
+Retain for the slice's whole lifetime. Suppress an intentional exception
+with //slimio:allow retainbuf <reason>.`
+
+// bufpoolPath anchors the type matching to the real pool package.
+const bufpoolPath = "github.com/slimio/slimio/internal/bufpool"
+
+// Analyzer is the retainbuf pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retainbuf",
+	Doc:  Doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// pooledName resolves t to "Segment" or "Ref" when it is (a pointer to) one
+// of bufpool's payload-carrying types, "" otherwise.
+func pooledName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	pkg, name := analysis.NamedTypePath(t)
+	if pkg == bufpoolPath && (name == "Segment" || name == "Ref") {
+		return name
+	}
+	return ""
+}
+
+// localObj resolves expr as a plain local identifier and returns its object
+// ("" kind means it is not a pooled type). Field selectors and index
+// expressions are deliberately not tracked: their aliasing is beyond a
+// per-function pass, and restricting to locals keeps the pass free of false
+// positives.
+func localObj(info *types.Info, expr ast.Expr) (types.Object, string) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	return obj, pooledName(obj.Type())
+}
+
+// viewSource resolves expr (through re-slicings) to the pooled local whose
+// backing bytes it aliases: s.Bytes(), s.Bytes()[:n], or r.B.
+func viewSource(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		if s, ok := expr.(*ast.SliceExpr); ok {
+			expr = s.X
+			continue
+		}
+		break
+	}
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Bytes" {
+			return nil
+		}
+		if obj, kind := localObj(info, sel.X); kind == "Segment" {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "B" {
+			return nil
+		}
+		if obj, kind := localObj(info, e.X); kind == "Ref" {
+			return obj
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the pass to one function body. The analysis is a
+// source-order heuristic: a use textually after the earliest Release of the
+// segment it aliases is reported. That misses release-in-loop patterns and
+// cross-function escapes, and is exactly as precise as a reviewer reading
+// the function top to bottom — the contract the pass encodes.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	released := make(map[types.Object]token.Pos) // pooled local -> earliest Release
+	views := make(map[types.Object]types.Object) // slice local -> pooled local
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Release runs at function exit: the bytes stay valid
+			// for the whole body, so its textual position is not a release
+			// point.
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "ReleaseAt") {
+				return true
+			}
+			if obj, kind := localObj(info, sel.X); kind != "" {
+				if p, ok := released[obj]; !ok || n.Pos() < p {
+					released[obj] = n.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				src := viewSource(info, n.Rhs[i])
+				if src == nil {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj, _ := localObj(info, id); obj != nil {
+						views[obj] = src
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(released) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			src, ok := views[info.Uses[n]]
+			if !ok {
+				return true
+			}
+			if rel, ok := released[src]; ok && rel < n.Pos() {
+				pass.Reportf(n.Pos(),
+					"%s aliases the backing slice of %s, which was already released; the pool may have recycled the bytes — copy them out or Retain for the slice's lifetime",
+					n.Name, src.Name())
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name != "Bytes" && n.Sel.Name != "B" {
+				return true
+			}
+			obj, kind := localObj(info, n.X)
+			if kind == "" {
+				return true
+			}
+			if (kind == "Segment") != (n.Sel.Name == "Bytes") {
+				return true
+			}
+			if rel, ok := released[obj]; ok && rel < n.Pos() {
+				pass.Reportf(n.Pos(),
+					"%s.%s after %s was released; the pool may have recycled the bytes — copy them out or Retain for the slice's lifetime",
+					obj.Name(), n.Sel.Name, obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package retainbuf_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/retainbuf"
+)
+
+func TestRetainbuf(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", retainbuf.Analyzer)
+}

@@ -1,0 +1,73 @@
+// Fixture for the retainbuf pass: uses of a pooled backing slice after
+// Release fire, uses before (or under a still-held reference with an allow
+// comment) do not.
+package a
+
+import "github.com/slimio/slimio/internal/bufpool"
+
+func useAfterRelease(p *bufpool.Pool) byte {
+	s := p.Get()
+	b := s.Bytes()
+	s.Release()
+	return b[0] // want `b aliases the backing slice of s`
+}
+
+func useAfterReleaseSliced(p *bufpool.Pool) byte {
+	s := p.Get()
+	b := s.Bytes()[:8]
+	s.Release()
+	return b[0] // want `b aliases the backing slice of s`
+}
+
+func bytesCallAfterRelease(p *bufpool.Pool) []byte {
+	s := p.Get()
+	s.ReleaseAt(0)   // quarantined release is still a release
+	return s.Bytes() // want `s.Bytes after s was released`
+}
+
+func refViewAfterRelease(r bufpool.Ref) byte {
+	b := r.B
+	r.Release()
+	return b[0] // want `b aliases the backing slice of r`
+}
+
+func refFieldAfterRelease(r bufpool.Ref) []byte {
+	r.Release()
+	return r.B // want `r.B after r was released`
+}
+
+func goodUseBeforeRelease(p *bufpool.Pool) byte {
+	s := p.Get()
+	b := s.Bytes()
+	v := b[0]
+	s.Release()
+	return v
+}
+
+func goodCopyOut(p *bufpool.Pool) []byte {
+	s := p.Get()
+	out := append([]byte(nil), s.Bytes()...)
+	s.Release()
+	return out
+}
+
+// A deferred Release runs at function exit, so the slice stays valid for
+// the whole body: the pass must not treat the defer's textual position as
+// the release point.
+func goodDeferredRelease(p *bufpool.Pool) byte {
+	s := p.Get()
+	defer s.Release()
+	b := s.Bytes()
+	return b[0]
+}
+
+func allowed(p *bufpool.Pool) byte {
+	s := p.Get()
+	s.Retain()
+	b := s.Bytes()
+	s.Release()
+	//slimio:allow retainbuf fixture: the Retain above still holds the bytes
+	v := b[0]
+	s.Release()
+	return v
+}

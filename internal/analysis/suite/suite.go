@@ -9,6 +9,9 @@
 //     replay-bit-identically contract depends on exactly these passes: the
 //     experiment harness binaries under cmd/ legitimately measure wall
 //     time and never run inside the simulation.
+//   - retainbuf shares that scope (internal/bufpool included): every layer
+//     of the zero-copy write path handles pooled segments, and a backing
+//     slice retained past its Release is silent cross-request corruption.
 //   - maporder applies module-wide (tooling included): ordered output must
 //     be a contract everywhere, harness and linter alike.
 //   - floatfold applies where float folds feed published numbers:
@@ -29,6 +32,7 @@ import (
 	"github.com/slimio/slimio/internal/analysis/load"
 	"github.com/slimio/slimio/internal/analysis/maporder"
 	"github.com/slimio/slimio/internal/analysis/rawgoroutine"
+	"github.com/slimio/slimio/internal/analysis/retainbuf"
 	"github.com/slimio/slimio/internal/analysis/wallclock"
 )
 
@@ -64,6 +68,7 @@ var All = []ScopedAnalyzer{
 	{wallclock.Analyzer, deterministic},
 	{globalrand.Analyzer, deterministic},
 	{rawgoroutine.Analyzer, deterministic},
+	{retainbuf.Analyzer, deterministic},
 	{maporder.Analyzer, inModule},
 	{floatfold.Analyzer, floatScoped},
 }

@@ -22,15 +22,15 @@ func TestScoping(t *testing.T) {
 		want []string
 	}{
 		// Simulation packages get the full determinism contract.
-		{Module + "/internal/sim", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
-		{Module + "/internal/kernelio", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
+		{Module + "/internal/sim", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
+		{Module + "/internal/kernelio", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
 		// The crash-consistency model checker replays schedules
 		// bit-identically, so it must sit under the full determinism
 		// contract like any other simulation package.
-		{Module + "/internal/crashmc", []string{"wallclock", "globalrand", "rawgoroutine", "maporder"}},
+		{Module + "/internal/crashmc", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
 		// Metrics and the experiment harness additionally get floatfold.
-		{Module + "/internal/metrics", []string{"wallclock", "globalrand", "rawgoroutine", "maporder", "floatfold"}},
-		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "maporder", "floatfold"}},
+		{Module + "/internal/metrics", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder", "floatfold"}},
+		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder", "floatfold"}},
 		// Harness binaries legitimately measure wall time; only ordered
 		// output is policed there.
 		{Module + "/cmd/slimio-bench", []string{"maporder"}},
@@ -50,8 +50,8 @@ func TestScoping(t *testing.T) {
 }
 
 func TestSuiteRegistry(t *testing.T) {
-	if len(All) != 5 {
-		t.Fatalf("suite has %d passes, want 5", len(All))
+	if len(All) != 6 {
+		t.Fatalf("suite has %d passes, want 6", len(All))
 	}
 	known := Known()
 	for _, sa := range All {

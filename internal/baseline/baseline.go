@@ -57,6 +57,24 @@ type Backend struct {
 	// ReadChunk is the read(2) size used during recovery (default 128 KiB,
 	// glibc-buffered-reader class).
 	ReadChunk int
+	// scratch is the reused flatten buffer for WALAppend: write(2) takes one
+	// contiguous user buffer, so the chain is flattened here once per append.
+	// (That copy is the kernel path's own user→cache semantics — the zero-copy
+	// plane ends where the baseline's syscall boundary begins.)
+	scratch []byte
+	// appending stages the chain a WALAppend call currently holds, so a
+	// power cut frozen inside write(2) leaves its references reachable for
+	// Close. Cleared in the same straight-line step that returns ownership
+	// (error) or releases the references (success).
+	appending wal.Chain
+}
+
+// Close releases every pooled reference the backend and its filesystem still
+// hold (teardown for pool-quiescence accounting). The backend must not be
+// used afterwards.
+func (b *Backend) Close() {
+	b.appending.Release()
+	b.fs.Close()
 }
 
 var _ imdb.Backend = (*Backend)(nil)
@@ -131,11 +149,21 @@ func (b *Backend) Filesystem() *kernelio.Filesystem { return b.fs }
 // Label names the backend for reports.
 func (b *Backend) Label() string { return "baseline/" + b.fs.Profile().Name }
 
-// WALAppend appends log bytes via write(2).
-func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
-	end := b.span(env, "wal.append", int64(len(data)))
+// WALAppend appends log bytes via write(2). On success the chain's segment
+// references are released here; on error they stay with the caller (park and
+// retry), per the imdb.Backend contract.
+func (b *Backend) WALAppend(env *sim.Env, data wal.Chain) error {
+	end := b.span(env, "wal.append", int64(data.Len()))
 	defer end()
-	return b.walFile.Append(env, data)
+	b.appending = data
+	b.scratch = data.AppendTo(b.scratch[:0])
+	if err := b.walFile.Append(env, b.scratch); err != nil {
+		b.appending = wal.Chain{}
+		return err
+	}
+	b.appending = wal.Chain{}
+	data.Release()
+	return nil
 }
 
 // WALSync makes the log durable via fsync(2).

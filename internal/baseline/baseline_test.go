@@ -50,7 +50,7 @@ func TestWALAppendSyncRecover(t *testing.T) {
 		var stream []byte
 		for i := 0; i < 20; i++ {
 			stream = wal.AppendRecord(stream[:0], wal.OpSet, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("v"), 100))
-			if err := r.be.WALAppend(env, stream); err != nil {
+			if err := r.be.WALAppend(env, r.chain(stream)); err != nil {
 				t.Error(err)
 				return
 			}
@@ -161,7 +161,7 @@ func TestAbortRemovesTemp(t *testing.T) {
 func TestWALRotateAndDiscard(t *testing.T) {
 	r := newRig(t, kernelio.F2FS())
 	r.run(t, func(env *sim.Env) {
-		if err := r.be.WALAppend(env, bytes.Repeat([]byte("x"), 5000)); err != nil {
+		if err := r.be.WALAppend(env, r.chain(bytes.Repeat([]byte("x"), 5000))); err != nil {
 			t.Error(err)
 			return
 		}
@@ -176,7 +176,7 @@ func TestWALRotateAndDiscard(t *testing.T) {
 		if r.be.WALDurableSize() != 0 {
 			t.Error("new segment not empty")
 		}
-		if err := r.be.WALAppend(env, bytes.Repeat([]byte("y"), 100)); err != nil {
+		if err := r.be.WALAppend(env, r.chain(bytes.Repeat([]byte("y"), 100))); err != nil {
 			t.Error(err)
 			return
 		}
@@ -207,7 +207,7 @@ func TestWALRotateAndDiscard(t *testing.T) {
 
 func TestEndToEndEngineRecovery(t *testing.T) {
 	r := newRig(t, kernelio.EXT4())
-	db := imdb.New(r.eng, r.be, imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 32 << 10}, nil)
+	db := imdb.New(r.eng, r.be, withPool(imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 32 << 10}, r.dev), nil)
 	db.Start()
 	final := map[string]string{}
 	r.eng.Spawn("client", func(env *sim.Env) {
@@ -226,7 +226,7 @@ func TestEndToEndEngineRecovery(t *testing.T) {
 	if len(db.Stats().Snapshots) == 0 {
 		t.Fatal("no WAL-snapshot triggered")
 	}
-	db2 := imdb.New(r.eng, r.be, imdb.Config{}, nil)
+	db2 := imdb.New(r.eng, r.be, withPool(imdb.Config{}, r.dev), nil)
 	r.eng.Spawn("recover", func(env *sim.Env) {
 		r.fs.DropCaches()
 		if _, _, err := db2.Recover(env); err != nil {
@@ -249,4 +249,17 @@ func TestLabelIncludesFilesystem(t *testing.T) {
 	if r.be.Label() != "baseline/ext4" {
 		t.Fatalf("label = %q", r.be.Label())
 	}
+}
+
+// chain copies raw framed bytes into the stack's pool as a wal.Chain
+// (WALAppend consumes the references on success).
+func (r *rig) chain(data []byte) wal.Chain {
+	return wal.NewChain(r.dev.FTL().Array().Pool(), data)
+}
+
+// withPool points the engine's WAL buffer at the device's page pool, the
+// way production wiring does (exp.RunCell, slimio.New).
+func withPool(cfg imdb.Config, dev *ssd.Device) imdb.Config {
+	cfg.Pool = dev.FTL().Array().Pool()
+	return cfg
 }

@@ -1,0 +1,154 @@
+package bufpool
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.now }
+
+func TestGetReleaseRecycles(t *testing.T) {
+	p := New(4096)
+	s := p.Get()
+	if got := len(s.Bytes()); got != 4096 {
+		t.Fatalf("segment size = %d, want 4096", got)
+	}
+	if p.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", p.InFlight())
+	}
+	s.Bytes()[0] = 0xAB
+	s.Release()
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", p.InFlight())
+	}
+	s2 := p.Get()
+	if s2 != s {
+		t.Fatalf("plainly released segment was not recycled")
+	}
+	s2.Release()
+	if p.Allocated() != 1 {
+		t.Fatalf("Allocated = %d, want 1", p.Allocated())
+	}
+}
+
+func TestRetainKeepsSegmentAlive(t *testing.T) {
+	p := New(64)
+	s := p.Get()
+	s.Retain()
+	s.Release()
+	if p.InFlight() != 1 {
+		t.Fatalf("InFlight = %d after one of two releases, want 1", p.InFlight())
+	}
+	if got := p.Get(); got == s {
+		t.Fatalf("segment recycled while still referenced")
+	}
+	s.Release()
+	if p.InFlight() != 1 { // only the second Get remains
+		t.Fatalf("InFlight = %d, want 1", p.InFlight())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := New(64)
+	s := p.Get()
+	s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestRetainAfterFreePanics(t *testing.T) {
+	p := New(64)
+	s := p.Get()
+	s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("retain after final release did not panic")
+		}
+	}()
+	s.Retain()
+}
+
+func TestQuarantineGatesReuse(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(64)
+	p.SetClock(clk)
+	s := p.Get()
+	s.ReleaseAt(100)
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0 (quarantined, not leaked)", p.InFlight())
+	}
+	clk.now = 50
+	if got := p.Get(); got == s {
+		t.Fatalf("segment reused before quarantine expired")
+	}
+	clk.now = 101
+	got := p.Get()
+	if got != s {
+		t.Fatalf("segment not reused after quarantine expired")
+	}
+}
+
+// TestReleaseAtLatestDeadlineWins: two stored copies of one segment erase at
+// different horizons; the buffer's plain release afterwards must still honor
+// the later deadline.
+func TestReleaseAtLatestDeadlineWins(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(64)
+	p.SetClock(clk)
+	s := p.Get()     // producer ref
+	s.Retain()       // stored copy 1
+	s.Retain()       // stored copy 2
+	s.ReleaseAt(200) // erase of copy 1
+	s.ReleaseAt(120) // erase of copy 2 (earlier horizon)
+	s.Release()      // producer drops last
+	clk.now = 150
+	if got := p.Get(); got == s {
+		t.Fatalf("segment reused at t=150 before the t=200 deadline")
+	}
+	clk.now = 201
+	if got := p.Get(); got != s {
+		t.Fatalf("segment not reused after the latest deadline passed")
+	}
+}
+
+func TestBorrowedRefIsNoOp(t *testing.T) {
+	r := Borrowed([]byte{1, 2, 3})
+	r.Retain()
+	r.Release() // must not panic
+	if r.Seg != nil {
+		t.Fatalf("borrowed ref has a segment")
+	}
+}
+
+// TestHotPathAllocBudgets pins the steady-state allocation cost of the pool
+// hot path: once warmed, a get/release cycle allocates nothing.
+func TestHotPathAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race builds record acquire/release sites, which allocates")
+	}
+	p := New(4096)
+	// Warm: carve one chunk's worth.
+	warm := make([]*Segment, chunkSegs)
+	for i := range warm {
+		warm[i] = p.Get()
+	}
+	for _, s := range warm {
+		s.Release()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s := p.Get()
+		s.Retain()
+		s.Release()
+		s.Release()
+	})
+	if avg != 0 {
+		t.Fatalf("pool get/retain/release cycle allocates %.1f/op, budget 0", avg)
+	}
+}

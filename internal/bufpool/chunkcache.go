@@ -1,0 +1,66 @@
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// chunkCache recycles pools' backing chunks across experiment cells. A
+// cell's pool dies with its stack, but the next cell needs the same
+// device-capacity-sized footprint — without recycling, a multi-cell
+// experiment suite re-allocates hundreds of megabytes per cell just to
+// throw them away. The cache is process-global and mutex-guarded (parallel
+// cells return and take chunks concurrently); determinism is unaffected
+// because recycled chunks are zeroed before reuse, making them
+// bit-indistinguishable from freshly allocated memory.
+var chunkCache struct {
+	mu     sync.Mutex
+	bySize map[int][][]byte
+}
+
+// getChunk returns a zeroed chunk of exactly size bytes, reusing a retired
+// pool's chunk when one is available.
+func getChunk(size int) []byte {
+	chunkCache.mu.Lock()
+	list := chunkCache.bySize[size]
+	if n := len(list); n > 0 {
+		c := list[n-1]
+		list[n-1] = nil
+		chunkCache.bySize[size] = list[:n-1]
+		chunkCache.mu.Unlock()
+		clear(c)
+		return c
+	}
+	chunkCache.mu.Unlock()
+	return make([]byte, size)
+}
+
+// putChunks returns a retired pool's chunks to the cache.
+func putChunks(size int, chunks [][]byte) {
+	if len(chunks) == 0 {
+		return
+	}
+	chunkCache.mu.Lock()
+	if chunkCache.bySize == nil {
+		chunkCache.bySize = make(map[int][][]byte)
+	}
+	chunkCache.bySize[size] = append(chunkCache.bySize[size], chunks...)
+	chunkCache.mu.Unlock()
+}
+
+// Close retires the pool, returning its backing chunks to the process-wide
+// chunk cache for the next cell's pool. Call it only once the pool is
+// quiescent — InFlight() == 0 — since every segment's bytes alias a chunk;
+// closing a live pool would hand referenced memory to another cell. A
+// closed pool must not be used again.
+func (p *Pool) Close() {
+	if p.inFlight != 0 {
+		panic(fmt.Sprintf("bufpool: Close with %d segments still in flight", p.inFlight))
+	}
+	putChunks(chunkSegs*p.segSize, p.chunks)
+	p.chunks = nil
+	p.chunk = nil
+	p.free = nil
+	p.quar = nil
+	p.quarOff = 0
+}

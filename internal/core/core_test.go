@@ -133,7 +133,7 @@ func TestWALAppendSyncRecover(t *testing.T) {
 			v := bytes.Repeat([]byte{byte(i)}, 100+i)
 			want = append(want, v)
 			stream = wal.AppendRecord(stream[:0], wal.OpSet, k, v)
-			if err := r.be.WALAppend(env, stream); err != nil {
+			if err := r.be.WALAppend(env, r.chain(stream)); err != nil {
 				t.Error(err)
 				return
 			}
@@ -178,7 +178,7 @@ func TestWALTailSyncedWithoutFullPage(t *testing.T) {
 	r := newRig(t)
 	r.run(t, func(env *sim.Env) {
 		data := wal.AppendRecord(nil, wal.OpSet, []byte("k"), []byte("small"))
-		if err := r.be.WALAppend(env, data); err != nil {
+		if err := r.be.WALAppend(env, r.chain(data)); err != nil {
 			t.Error(err)
 			return
 		}
@@ -207,7 +207,7 @@ func TestWALRotateDiscardTrimsAndAdvances(t *testing.T) {
 	r := newRig(t)
 	r.run(t, func(env *sim.Env) {
 		payload := bytes.Repeat([]byte("w"), 5*testPageSize)
-		if err := r.be.WALAppend(env, payload); err != nil {
+		if err := r.be.WALAppend(env, r.chain(payload)); err != nil {
 			t.Error(err)
 			return
 		}
@@ -222,7 +222,7 @@ func TestWALRotateDiscardTrimsAndAdvances(t *testing.T) {
 			t.Errorf("sealed pages = %d, want 5", r.be.sealedPages())
 		}
 		// New segment lands after the sealed one.
-		if err := r.be.WALAppend(env, payload); err != nil {
+		if err := r.be.WALAppend(env, r.chain(payload)); err != nil {
 			t.Error(err)
 			return
 		}
@@ -250,7 +250,7 @@ func TestWALRegionFullErrors(t *testing.T) {
 	r := newRig(t)
 	r.run(t, func(env *sim.Env) {
 		huge := bytes.Repeat([]byte("x"), int(r.be.lay.walPages+1)*testPageSize)
-		if err := r.be.WALAppend(env, huge); err == nil {
+		if err := r.be.WALAppend(env, r.chain(huge)); err == nil {
 			t.Error("overfull WAL accepted")
 		}
 	})
@@ -437,7 +437,7 @@ func TestRecoverTornWALTail(t *testing.T) {
 		// How many whole records fit in the durable full pages?
 		fullBytes := (len(stream) / testPageSize) * testPageSize
 		wantRecords = fullBytes / len(rec)
-		if err := r.be.WALAppend(env, stream); err != nil {
+		if err := r.be.WALAppend(env, r.chain(stream)); err != nil {
 			t.Error(err)
 		}
 		// No WALSync: crash loses the partial tail page.
@@ -468,7 +468,7 @@ func TestRecoverContinuesAppending(t *testing.T) {
 	recA := wal.AppendRecord(nil, wal.OpSet, []byte("a"), bytes.Repeat([]byte("1"), 700))
 	recB := wal.AppendRecord(nil, wal.OpSet, []byte("b"), bytes.Repeat([]byte("2"), 700))
 	r.run(t, func(env *sim.Env) {
-		if err := r.be.WALAppend(env, recA); err != nil {
+		if err := r.be.WALAppend(env, r.chain(recA)); err != nil {
 			t.Error(err)
 			return
 		}
@@ -483,7 +483,7 @@ func TestRecoverContinuesAppending(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if err := be2.WALAppend(env, recB); err != nil {
+		if err := be2.WALAppend(env, r.chain(recB)); err != nil {
 			t.Error(err)
 			return
 		}
@@ -522,7 +522,7 @@ func TestWALWrapsAroundRegion(t *testing.T) {
 	payload := bytes.Repeat([]byte("r"), int(region*2/3)*testPageSize)
 	r.run(t, func(env *sim.Env) {
 		for round := 0; round < 4; round++ {
-			if err := r.be.WALAppend(env, payload); err != nil {
+			if err := r.be.WALAppend(env, r.chain(payload)); err != nil {
 				t.Errorf("round %d: %v", round, err)
 				return
 			}
@@ -550,7 +550,7 @@ func TestEndToEndEngineWAFOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := imdb.New(eng, be, imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 48 << 10}, nil)
+	db := imdb.New(eng, be, withPool(imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 48 << 10}, dev), nil)
 	db.Start()
 	final := map[string]string{}
 	eng.Spawn("client", func(env *sim.Env) {
@@ -574,7 +574,7 @@ func TestEndToEndEngineWAFOne(t *testing.T) {
 		t.Fatalf("WAF = %.4f, want exactly 1.00 on FDP with lifetime separation", waf)
 	}
 
-	db2 := imdb.New(eng, be, imdb.Config{}, nil)
+	db2 := imdb.New(eng, be, withPool(imdb.Config{}, dev), nil)
 	eng.Spawn("recover", func(env *sim.Env) {
 		if _, _, err := db2.Recover(env); err != nil {
 			t.Error(err)
@@ -600,7 +600,7 @@ func TestEndToEndConventionalDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := imdb.New(eng, be, imdb.Config{Policy: imdb.AlwaysLog, WALSnapshotTrigger: 48 << 10}, nil)
+	db := imdb.New(eng, be, withPool(imdb.Config{Policy: imdb.AlwaysLog, WALSnapshotTrigger: 48 << 10}, dev), nil)
 	db.Start()
 	eng.Spawn("client", func(env *sim.Env) {
 		for i := 0; i < 400; i++ {
@@ -662,4 +662,18 @@ func TestRecoverFromSpecificKind(t *testing.T) {
 	}
 	check(imdb.WALSnapshot, walImg)
 	check(imdb.OnDemandSnapshot, odImg)
+}
+
+// chain copies raw framed bytes into the device's pool as a wal.Chain
+// (WALAppend consumes the references on success; on error they return to
+// the caller, which these tests simply drop — no quiescence assert here).
+func (r *rig) chain(data []byte) wal.Chain {
+	return wal.NewChain(r.dev.FTL().Array().Pool(), data)
+}
+
+// withPool points the engine's WAL buffer at the device's page pool, the
+// way production wiring does (exp.RunCell, slimio.New).
+func withPool(cfg imdb.Config, dev *ssd.Device) imdb.Config {
+	cfg.Pool = dev.FTL().Array().Pool()
+	return cfg
 }

@@ -30,7 +30,7 @@ func TestCrashMidSnapshotRecoversBothSegments(t *testing.T) {
 	}
 	r.run(t, func(env *sim.Env) {
 		for i := 0; i < 10; i++ {
-			if err := r.be.WALAppend(env, mkRec(i)); err != nil {
+			if err := r.be.WALAppend(env, r.chain(mkRec(i))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -45,7 +45,7 @@ func TestCrashMidSnapshotRecoversBothSegments(t *testing.T) {
 			return
 		}
 		for i := 10; i < 15; i++ {
-			if err := r.be.WALAppend(env, mkRec(i)); err != nil {
+			if err := r.be.WALAppend(env, r.chain(mkRec(i))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -90,7 +90,7 @@ func TestMultipleSealedSegments(t *testing.T) {
 			for i := 0; i < 4; i++ {
 				rec := wal.AppendRecord(nil, wal.OpSet, []byte(fmt.Sprintf("k%04d", idx)), []byte("x"))
 				idx++
-				if err := r.be.WALAppend(env, rec); err != nil {
+				if err := r.be.WALAppend(env, r.chain(rec)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -132,7 +132,7 @@ func TestRotateLimitEnforced(t *testing.T) {
 	r := newRig(t)
 	r.run(t, func(env *sim.Env) {
 		for seal := 0; seal < maxSealedSegments; seal++ {
-			if err := r.be.WALAppend(env, bytes.Repeat([]byte("x"), 600)); err != nil {
+			if err := r.be.WALAppend(env, r.chain(bytes.Repeat([]byte("x"), 600))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -141,7 +141,7 @@ func TestRotateLimitEnforced(t *testing.T) {
 				return
 			}
 		}
-		if err := r.be.WALAppend(env, bytes.Repeat([]byte("x"), 600)); err != nil {
+		if err := r.be.WALAppend(env, r.chain(bytes.Repeat([]byte("x"), 600))); err != nil {
 			t.Error(err)
 			return
 		}
@@ -178,7 +178,7 @@ func TestMetadataRegionWraps(t *testing.T) {
 	rounds := 3 * 8
 	r.run(t, func(env *sim.Env) {
 		for i := 0; i < rounds; i++ {
-			if err := r.be.WALAppend(env, bytes.Repeat([]byte("m"), 700)); err != nil {
+			if err := r.be.WALAppend(env, r.chain(bytes.Repeat([]byte("m"), 700))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -225,7 +225,7 @@ func TestEngineCrashDuringSnapshot(t *testing.T) {
 	cfg := imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 40 << 10}
 	cfg.Cost = imdb.DefaultCostModel()
 	cfg.Cost.CompressBandwidth = 2 << 20
-	db := imdb.New(eng, be, cfg, nil)
+	db := imdb.New(eng, be, withPool(cfg, dev), nil)
 	db.Start()
 
 	written := map[string]string{}
@@ -249,7 +249,7 @@ func TestEngineCrashDuringSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db2 := imdb.New(eng2, be2, imdb.Config{}, nil)
+	db2 := imdb.New(eng2, be2, withPool(imdb.Config{}, dev), nil)
 	eng2.Spawn("recover", func(env *sim.Env) {
 		if _, _, err := db2.Recover(env); err != nil {
 			t.Error(err)
@@ -294,7 +294,7 @@ func TestCrashPointRecoveryProperty(t *testing.T) {
 			return false
 		}
 		cfg := imdb.Config{Policy: imdb.PeriodicalLog, WALSnapshotTrigger: 48 << 10}
-		db := imdb.New(eng, be, cfg, nil)
+		db := imdb.New(eng, be, withPool(cfg, dev), nil)
 		db.Start()
 		written := make(map[string]map[string]bool)
 		eng.Spawn("client", func(env *sim.Env) {
@@ -324,7 +324,7 @@ func TestCrashPointRecoveryProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		db2 := imdb.New(eng2, be2, imdb.Config{}, nil)
+		db2 := imdb.New(eng2, be2, withPool(imdb.Config{}, dev), nil)
 		ok := true
 		eng2.Spawn("recover", func(env *sim.Env) {
 			if _, _, err := db2.Recover(env); err != nil {

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 	"github.com/slimio/slimio/internal/uring"
+	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/wal"
 )
 
@@ -26,10 +28,23 @@ type Backend struct {
 
 	// Current (open) segment state. The segment begins at curHead(), right
 	// after the sealed segments recorded in the metadata segment table.
-	walBytes      int64 // bytes appended to the open segment, tail included
-	walFullPages  int64 // complete pages written to the device
-	walTail       []byte
-	walTailSynced int // tail bytes already on the device
+	// The partial tail page lives in a pooled segment (walTailSeg) that is
+	// usually the very segment the engine's WAL buffer is still encoding
+	// into: the open page's first walBytes%pageSize bytes are immutable
+	// (append-only), so tail rewrites submit the same memory, zero-copy.
+	walBytes      int64            // bytes appended to the open segment, tail included
+	walFullPages  int64            // complete pages written to the device
+	walTailSeg    *bufpool.Segment // backend-owned ref to the partial tail page
+	walTailSynced int              // tail bytes already submitted to the device
+	pool          *bufpool.Pool
+
+	// staged holds pooled segment references the backend owns mid-call: the
+	// chain WALAppend is consuming, and copy-path pages awaiting submission.
+	// Every wait point in the append path (inflight reap, ring submission)
+	// can freeze the calling process at a simulated power cut; references
+	// move off this list in the same straight-line step that hands them to
+	// the ring or a field, so Close releases exactly what a cut stranded.
+	staged []*bufpool.Segment
 
 	// outstanding holds completion signals of in-flight async WAL writes;
 	// WALSync reaps them (the paper's dedicated CQ-handling thread keeps
@@ -40,6 +55,7 @@ type Backend struct {
 	outstanding []*sim.Signal
 
 	snapGen int
+	sinks   []*slotSink // every sink ever opened, for teardown accounting
 	stats   Stats
 }
 
@@ -59,9 +75,34 @@ func New(eng *sim.Engine, dev *ssd.Device, cfg Config) (*Backend, error) {
 		cfg:      cfg,
 		lay:      lay,
 		pageSize: int64(dev.PageSize()),
+		pool:     dev.FTL().Array().Pool(),
 		walRing:  uring.NewRing(eng, dev, "wal-path", cfg.WALRing),
 	}
+	if b.pool.SegSize() != dev.PageSize() {
+		return nil, fmt.Errorf("core: pool segment size %d != device page size %d", b.pool.SegSize(), dev.PageSize())
+	}
 	return b, nil
+}
+
+// Close releases pooled buffers the backend still holds and drops commands
+// frozen in its rings' submission queues (only a simulated power cut leaves
+// any). Teardown only: experiment cells call it before asserting pool
+// quiescence.
+func (b *Backend) Close() {
+	b.walRing.DropPending()
+	if b.walTailSeg != nil {
+		b.walTailSeg.Release()
+		b.walTailSeg = nil
+	}
+	for _, s := range b.staged {
+		s.Release()
+	}
+	b.staged = nil
+	b.outstanding = nil
+	for _, s := range b.sinks {
+		s.drop()
+	}
+	b.sinks = nil
 }
 
 // Label names the backend for reports.
@@ -101,7 +142,7 @@ func (b *Backend) writeMeta(env *sim.Env, ring *uring.Ring) error {
 	tr := b.cfg.Trace
 	span := tr.Begin("core", "meta.write", tr.Scope(), env.Now())
 	tr.SetScope(span)
-	err := ring.Write(env, lpa, [][]byte{b.meta.encode()}, PIDMetadata)
+	err := ring.Write(env, lpa, []bufpool.Ref{bufpool.Borrowed(b.meta.encode())}, PIDMetadata)
 	tr.SetScope(0)
 	tr.End(span, env.Now())
 	return err
@@ -131,20 +172,32 @@ func (b *Backend) walLPA(pageOff int64) int64 {
 // or when the in-flight bound is hit); the partial tail stays buffered until
 // WALSync. Passthru writes are durable on completion — there is no page
 // cache to flush behind them.
-func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
-	if len(data) == 0 {
+//
+// The chain's references transfer to the backend on success. The common case
+// is fully zero-copy: the engine's buffer chunks at the same page boundaries
+// as the open segment, so the chain's segments ARE the device pages and are
+// handed to the ring as-is. Only a misaligned stream (an append continuing a
+// recovered, partially-filled page) falls back to copying into
+// backend-owned segments. On error nothing is consumed and ownership stays
+// with the caller (see imdb.Backend).
+func (b *Backend) WALAppend(env *sim.Env, data wal.Chain) error {
+	n := int64(data.Len())
+	if n == 0 {
+		data.Release()
 		return nil
 	}
-	needed := b.sealedPages() + (b.walBytes+int64(len(data))+b.pageSize-1)/b.pageSize
+	needed := b.sealedPages() + (b.walBytes+n+b.pageSize-1)/b.pageSize
 	if needed > b.lay.walPages {
 		return fmt.Errorf("core: WAL region full (%d pages)", b.lay.walPages)
 	}
 	tr := b.cfg.Trace
 	span := tr.Begin("core", "wal.append", tr.Scope(), env.Now())
-	tr.SetArg(span, int64(len(data)))
+	tr.SetArg(span, n)
 	defer func() { tr.End(span, env.Now()) }()
-	b.walTail = append(b.walTail, data...)
-	b.walBytes += int64(len(data))
+
+	// Stage the chain where a frozen power cut can reach it before the first
+	// wait point below.
+	b.staged = append(b.staged[:0], data.Segs...)
 
 	// Bounded submission: reap oldest completions when too many commands
 	// are in flight.
@@ -155,34 +208,141 @@ func (b *Backend) WALAppend(env *sim.Env, data []byte) error {
 		cqe := sig.Wait(env).(*uring.CQE)
 		tr.Emit("core", "inflight.wait", span, t, env.Now(), 0)
 		if cqe.Err != nil {
+			// Ownership returns to the caller with every reference intact.
+			b.staged = b.staged[:0]
 			return cqe.Err
 		}
 	}
 
-	full := int64(len(b.walTail)) / b.pageSize
-	if full == 0 {
-		return nil
+	if b.aligned(data) {
+		b.appendAligned(env, span, data)
+	} else {
+		b.appendCopy(env, span, data)
 	}
-	pageBuf := b.walTail[:full*b.pageSize]
-	rest := append([]byte(nil), b.walTail[full*b.pageSize:]...)
-	written := int64(0)
-	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, b.curHead()+b.walFullPages, full) {
-		pages := make([][]byte, run.n)
-		for i := int64(0); i < run.n; i++ {
-			off := (written + i) * b.pageSize
-			pages[i] = pageBuf[off : off+b.pageSize]
+	b.walBytes += n
+	return nil
+}
+
+// aligned reports whether the chain's segment boundaries line up with the
+// open segment's page boundaries: the chain starts exactly at the current
+// tail fill, inside the very segment holding the open page (or on a fresh
+// page boundary). True for every append except ones continuing a recovered
+// mid-page tail.
+func (b *Backend) aligned(c wal.Chain) bool {
+	// Segments sized differently from device pages (an engine buffer on a
+	// foreign pool) can never be adopted — route them through the copy path.
+	if len(c.Segs[0].Bytes()) != int(b.pageSize) {
+		return false
+	}
+	fill := int(b.walBytes % b.pageSize)
+	if c.Off != fill {
+		return false
+	}
+	return fill == 0 || b.walTailSeg == c.Segs[0]
+}
+
+// appendAligned adopts the chain's segments as device pages: full segments
+// go straight to the ring (reference transfer), the partial last segment
+// becomes the new tail.
+func (b *Backend) appendAligned(env *sim.Env, span vtrace.SpanID, c wal.Chain) {
+	segs := c.Segs
+	fullCount := len(segs)
+	var newTail *bufpool.Segment
+	if c.End < int(b.pageSize) {
+		fullCount--
+		newTail = segs[len(segs)-1]
+	}
+	if fullCount > 0 {
+		b.submitFull(env, span, segs[:fullCount])
+		if b.walTailSeg != nil {
+			// The old partial tail page just went out as part of the
+			// chain's first full segment; drop the backend's own ref.
+			b.walTailSeg.Release()
+			b.walTailSeg = nil
 		}
+		b.walTailSynced = 0
+	}
+	if newTail != nil {
+		if b.walTailSeg == nil {
+			b.walTailSeg = newTail // adopt the chain's reference
+		} else {
+			// The chain fit inside the already-held open page: its tail
+			// reference duplicates the backend's.
+			newTail.Release()
+		}
+		b.unstage(1)
+	}
+}
+
+// unstage removes the first n staged segments — their references just moved
+// to the ring or a backend field in the same straight-line step.
+func (b *Backend) unstage(n int) {
+	k := copy(b.staged, b.staged[n:])
+	for i := k; i < len(b.staged); i++ {
+		b.staged[i] = nil
+	}
+	b.staged = b.staged[:k]
+}
+
+// appendCopy is the misaligned fallback: chain bytes are copied into
+// backend-owned segments at page-boundary alignment, then released.
+func (b *Backend) appendCopy(env *sim.Env, span vtrace.SpanID, c wal.Chain) {
+	ps := int(b.pageSize)
+	fill := int(b.walBytes % b.pageSize)
+	var full []*bufpool.Segment
+	for i := range c.Segs {
+		src := c.Span(i)
+		for len(src) > 0 {
+			if b.walTailSeg == nil {
+				b.walTailSeg = b.pool.Get()
+				b.walTailSynced = 0
+			}
+			nb := copy(b.walTailSeg.Bytes()[fill:], src)
+			fill += nb
+			src = src[nb:]
+			if fill == ps {
+				// The sealed copy moves from the tail field to staging until
+				// submitFull hands it to the ring.
+				full = append(full, b.walTailSeg)
+				b.staged = append(b.staged, b.walTailSeg)
+				b.walTailSeg = nil
+				b.walTailSynced = 0
+				fill = 0
+			}
+		}
+	}
+	// The chain is fully copied out; drop its references (the front of the
+	// staging list) before the submission wait points below.
+	chainSegs := len(c.Segs)
+	c.Release()
+	b.unstage(chainSegs)
+	if len(full) > 0 {
+		b.submitFull(env, span, full)
+	}
+}
+
+// submitFull hands full-page segments to the WAL ring — one reference per
+// segment transfers to the ring — splitting runs at ring wrap boundaries.
+func (b *Backend) submitFull(env *sim.Env, span vtrace.SpanID, segs []*bufpool.Segment) {
+	tr := b.cfg.Trace
+	idx := 0
+	for _, run := range splitWrap(b.lay.walStart, b.lay.walPages, b.curHead()+b.walFullPages, int64(len(segs))) {
+		pages := make([]bufpool.Ref, run.n)
+		for i := range pages {
+			s := segs[idx]
+			pages[i] = bufpool.Ref{Seg: s, B: s.Bytes()}
+			idx++
+		}
+		// The run's references move to the ring (registered at Submit entry);
+		// unstage them in the same straight-line step.
+		b.unstage(int(run.n))
 		tr.SetScope(span)
 		sig := b.walRing.WriteAsync(env, run.start, pages, PIDWAL)
 		tr.SetScope(0)
 		b.outstanding = append(b.outstanding, sig)
-		written += run.n
 	}
-	b.walFullPages += full
-	b.stats.WALPageWrites += full
-	b.walTail = rest
-	b.walTailSynced = 0
-	return nil
+	b.walFullPages += int64(len(segs))
+	b.stats.WALPageWrites += int64(len(segs))
 }
 
 // WALSync submits the partial tail page (if any un-synced bytes exist) and
@@ -194,14 +354,18 @@ func (b *Backend) WALSync(env *sim.Env) error {
 	tr := b.cfg.Trace
 	span := tr.Begin("core", "wal.sync", tr.Scope(), env.Now())
 	defer func() { tr.End(span, env.Now()) }()
-	if len(b.walTail) > 0 && b.walTailSynced != len(b.walTail) {
+	if fill := int(b.walBytes % b.pageSize); fill > 0 && b.walTailSynced != fill {
+		// Zero-copy tail rewrite: submit a view of the live tail segment.
+		// The first fill bytes are immutable (append-only log), so the
+		// engine may keep encoding past them while the write is in flight.
 		lpa := b.walLPA(b.walFullPages)
-		tail := append([]byte(nil), b.walTail...)
+		b.walTailSeg.Retain() // the ring releases its reference after issue
 		tr.SetScope(span)
-		sig := b.walRing.WriteAsync(env, lpa, [][]byte{tail}, PIDWAL)
+		sig := b.walRing.WriteAsync(env, lpa,
+			[]bufpool.Ref{{Seg: b.walTailSeg, B: b.walTailSeg.Bytes()[:fill]}}, PIDWAL)
 		tr.SetScope(0)
 		b.outstanding = append(b.outstanding, sig)
-		b.walTailSynced = len(b.walTail)
+		b.walTailSynced = fill
 		b.stats.WALTailRewrites++
 	}
 	pending := b.outstanding
@@ -240,7 +404,10 @@ func (b *Backend) WALRotate(env *sim.Env) error {
 	}
 	b.walBytes = 0
 	b.walFullPages = 0
-	b.walTail = nil
+	if b.walTailSeg != nil {
+		b.walTailSeg.Release()
+		b.walTailSeg = nil
+	}
 	b.walTailSynced = 0
 	b.stats.WALRotations++
 	return b.writeMeta(env, b.walRing)
@@ -269,15 +436,27 @@ func (b *Backend) WALDiscardOld(env *sim.Env) error {
 }
 
 // slotSink streams a snapshot image into the Reserve slot via a dedicated
-// Snapshot-Path ring.
+// Snapshot-Path ring. Chunks are copied once — out of the snapshot writer's
+// reused compression frame into pooled segments — and those segments are
+// what the device programs.
 type slotSink struct {
 	be          *Backend
 	ring        *uring.Ring
 	kind        imdb.SnapshotKind
 	slot        int
-	off         int64 // bytes written
-	tail        []byte
+	off         int64            // bytes written
+	tailSeg     *bufpool.Segment // sink-owned ref to the partial tail page
 	outstanding []*sim.Signal
+}
+
+// drop releases teardown-time leftovers: the partial tail and any commands
+// frozen in the sink's ring (a power cut mid-snapshot leaves both).
+func (s *slotSink) drop() {
+	s.ring.DropPending()
+	if s.tailSeg != nil {
+		s.tailSeg.Release()
+		s.tailSeg = nil
+	}
 }
 
 // reap waits out all in-flight slot writes.
@@ -301,18 +480,27 @@ func (s *slotSink) Write(env *sim.Env, chunk []byte) error {
 	span := tr.Begin("core", "slot.write", tr.Scope(), env.Now())
 	tr.SetArg(span, int64(len(chunk)))
 	defer func() { tr.End(span, env.Now()) }()
-	s.tail = append(s.tail, chunk...)
-	full := int64(len(s.tail)) / b.pageSize
-	if full == 0 {
-		s.off += int64(len(chunk))
-		return nil
+	ps := int(b.pageSize)
+	fill := int(s.off % b.pageSize)
+	startPage := s.off / b.pageSize // page the current tail (or chunk start) lands on
+	var pages []bufpool.Ref
+	for src := chunk; len(src) > 0; {
+		if s.tailSeg == nil {
+			s.tailSeg = b.pool.Get()
+		}
+		n := copy(s.tailSeg.Bytes()[fill:], src)
+		fill += n
+		src = src[n:]
+		if fill == ps {
+			// The sink's reference moves to the ring with the page.
+			pages = append(pages, bufpool.Ref{Seg: s.tailSeg, B: s.tailSeg.Bytes()})
+			s.tailSeg = nil
+			fill = 0
+		}
 	}
-	pageBuf := s.tail[:full*b.pageSize]
-	rest := append([]byte(nil), s.tail[full*b.pageSize:]...)
-	startPage := (s.off - int64(len(s.tail)-len(chunk))) / b.pageSize
-	pages := make([][]byte, full)
-	for i := int64(0); i < full; i++ {
-		pages[i] = pageBuf[i*b.pageSize : (i+1)*b.pageSize]
+	s.off += int64(len(chunk))
+	if len(pages) == 0 {
+		return nil
 	}
 	// Submit asynchronously: the SQPOLL poller dispatches while the
 	// snapshot process compresses the next chunk, overlapping CPU and
@@ -321,9 +509,7 @@ func (s *slotSink) Write(env *sim.Env, chunk []byte) error {
 	sig := s.ring.WriteAsync(env, b.lay.slotStart[s.slot]+startPage, pages, s.pid())
 	tr.SetScope(0)
 	s.outstanding = append(s.outstanding, sig)
-	b.stats.SnapshotPageWrites += full
-	s.tail = rest
-	s.off += int64(len(chunk))
+	b.stats.SnapshotPageWrites += int64(len(pages))
 	return nil
 }
 
@@ -341,14 +527,16 @@ func (s *slotSink) Commit(env *sim.Env) error {
 	tr := b.cfg.Trace
 	span := tr.Begin("core", "slot.commit", tr.Scope(), env.Now())
 	defer func() { tr.End(span, env.Now()) }()
-	if len(s.tail) > 0 {
-		lpa := b.lay.slotStart[s.slot] + (s.off-int64(len(s.tail)))/b.pageSize
+	if fill := int(s.off % b.pageSize); fill > 0 && s.tailSeg != nil {
+		lpa := b.lay.slotStart[s.slot] + (s.off-int64(fill))/b.pageSize
 		tr.SetScope(span)
-		sig := s.ring.WriteAsync(env, lpa, [][]byte{s.tail}, s.pid())
+		// The sink's reference moves to the ring with the partial page.
+		sig := s.ring.WriteAsync(env, lpa,
+			[]bufpool.Ref{{Seg: s.tailSeg, B: s.tailSeg.Bytes()[:fill]}}, s.pid())
 		tr.SetScope(0)
+		s.tailSeg = nil
 		s.outstanding = append(s.outstanding, sig)
 		b.stats.SnapshotPageWrites++
-		s.tail = nil
 	}
 	// The image must be fully durable before the promotion record points
 	// at it.
@@ -397,7 +585,11 @@ func (s *slotSink) Commit(env *sim.Env) error {
 func (s *slotSink) Abort(env *sim.Env) error {
 	b := s.be
 	_ = s.reap(env) // drain in-flight writes before trimming under them
-	n := pagesNeeded(s.off-int64(len(s.tail)), b.pageSize)
+	if s.tailSeg != nil {
+		s.tailSeg.Release()
+		s.tailSeg = nil
+	}
+	n := pagesNeeded(s.off-s.off%b.pageSize, b.pageSize)
 	if n == 0 {
 		return nil
 	}
@@ -423,7 +615,9 @@ func (b *Backend) BeginSnapshot(env *sim.Env, kind imdb.SnapshotKind) (imdb.Snap
 	}
 	b.snapGen++
 	ring := uring.NewRing(b.eng, b.dev, fmt.Sprintf("snapshot-path-%d", b.snapGen), b.cfg.SnapshotRing)
-	return &slotSink{be: b, ring: ring, kind: kind, slot: slot}, nil
+	sink := &slotSink{be: b, ring: ring, kind: kind, slot: slot}
+	b.sinks = append(b.sinks, sink)
+	return sink, nil
 }
 
 // Recover implements §4.2's procedure: scan the metadata region for the
@@ -551,10 +745,16 @@ func (b *Backend) recover(env *sim.Env, want *imdb.SnapshotKind) (*imdb.Recovere
 	}
 	b.walBytes = consumed
 	b.walFullPages = consumed / b.pageSize
+	if b.walTailSeg != nil {
+		b.walTailSeg.Release()
+		b.walTailSeg = nil
+	}
 	if rem := consumed % b.pageSize; rem > 0 {
-		b.walTail = append([]byte(nil), openRaw[consumed-rem:consumed]...)
-	} else {
-		b.walTail = nil
+		// The recovered mid-page tail lives in a backend-owned segment;
+		// appends continuing it take the copying fallback path, since the
+		// engine's fresh buffer chunks from a zero offset.
+		b.walTailSeg = b.pool.Get()
+		copy(b.walTailSeg.Bytes(), openRaw[consumed-rem:consumed])
 	}
 	b.walTailSynced = 0
 	return out, nil

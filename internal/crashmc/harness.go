@@ -148,9 +148,24 @@ func rng(seed int64) func() uint64 {
 	}
 }
 
+// clientState holds the client's WAL write buffer where the harness can
+// still reach it after a power cut freezes the client mid-call. A chain in
+// the middle of a WALAppend needs no tracking here: both backends stage the
+// references they have not yet handed off in their own structures (see
+// core.Backend.staged, baseline.Backend.appending), so a frozen call leaves
+// nothing reachable only from the client's stack.
+type clientState struct {
+	buf *wal.Buffer
+}
+
+// close releases whatever the (possibly frozen) client still owns.
+func (cs *clientState) close() {
+	cs.buf.Close()
+}
+
 // drive executes the seeded workload against be. mark, when non-nil,
 // receives every client-visible return instant for lattice harvesting.
-func drive(env *sim.Env, be imdb.Backend, w Workload, pageSize int, h *History, mark func(kind string, t sim.Time)) {
+func drive(env *sim.Env, be imdb.Backend, w Workload, pageSize int, cs *clientState, h *History, mark func(kind string, t sim.Time)) {
 	next := rng(w.Seed)
 	note := func(kind string) {
 		if mark != nil {
@@ -169,7 +184,10 @@ func drive(env *sim.Env, be imdb.Backend, w Workload, pageSize int, h *History, 
 	for i := 0; i < w.Ops; i++ {
 		key := []byte(fmt.Sprintf("k%05d", i))
 		val := bytes.Repeat([]byte{byte('a' + i%26)}, 40+int(next()%2000))
-		if err := be.WALAppend(env, wal.AppendRecord(nil, wal.OpSet, key, val)); err != nil {
+		cs.buf.Append(wal.OpSet, key, val)
+		chain := cs.buf.Drain()
+		if err := be.WALAppend(env, chain); err != nil {
+			chain.Release() // failed append leaves ownership with the caller
 			return
 		}
 		h.Ops = append(h.Ops, wal.Record{Op: wal.OpSet, Key: key, Value: val})
@@ -191,6 +209,9 @@ func drive(env *sim.Env, be imdb.Backend, w Workload, pageSize int, h *History, 
 			if err := be.WALRotate(env); err != nil {
 				return
 			}
+			// Drop the buffer's retained tail so the next append starts on a
+			// fresh segment, page-aligned with the new log head.
+			cs.buf.Cut()
 			rotations++
 			note("rotate.return")
 		}
@@ -261,8 +282,9 @@ func runOnce(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func
 	}
 	pageSize := st.Dev.PageSize()
 	hist := &History{}
+	cs := &clientState{buf: wal.NewBuffer(st.Pool())}
 	eng.Spawn("client", func(env *sim.Env) {
-		drive(env, st.Backend, w, pageSize, hist, mark)
+		drive(env, st.Backend, w, pageSize, cs, hist, mark)
 	})
 	end := cut
 	if cut > 0 {
@@ -305,6 +327,22 @@ func runOnce(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func
 	if recd == nil {
 		return nil, fmt.Errorf("crashmc: %s recovery produced nothing (cut %v)", tgt, cut)
 	}
+	// Teardown: release everything both stacks (the cut one and the recovery
+	// one) still hold, then require the data plane quiescent — a non-zero
+	// count is a leaked reference somewhere on the zero-copy write path, and
+	// every replay of the crash-point lattice runs this check.
+	cs.close()
+	switch nbe := be2.(type) {
+	case *core.Backend:
+		nbe.Close()
+	case *baseline.Backend:
+		nbe.Close()
+	}
+	st.Close()
+	if n := st.Pool().InFlight(); n != 0 {
+		return nil, fmt.Errorf("crashmc: %s: %d pooled segments leaked after teardown (cut %v)", tgt, n, cut)
+	}
+	st.Pool().Close()
 	return &runOutcome{Hist: hist, Rec: recd, Faults: st.Fault.Stats(), End: end}, nil
 }
 

@@ -94,6 +94,7 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 		label = fmt.Sprintf("%s/%s", cfg.Kind, cfg.Policy)
 	}
 	sc := cfg.Scale
+	costM0 := cellCostStart(sc.CellCosts)
 	var tracer *vtrace.Tracer
 	if sc.Trace != nil {
 		tracer = sc.Trace.Tracer(label)
@@ -105,7 +106,7 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 	}
 	series := metrics.NewSeries(cfg.Scale.RPSInterval)
 
-	dbCfg := imdb.Config{Policy: cfg.Policy, Trace: tracer}
+	dbCfg := imdb.Config{Policy: cfg.Policy, Trace: tracer, Pool: st.Pool()}
 	if !cfg.DisableWALSnapshots {
 		dbCfg.WALSnapshotTrigger = cfg.Scale.WALTriggerBytes
 	}
@@ -185,16 +186,34 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 	res.SetP999 = res.setHist.P999()
 	res.GetP999 = res.getHist.P999()
 	splitPhases(res)
+	cellCostEnd(sc.CellCosts, label, costM0)
 	return res, nil
 }
 
-// ReleaseHeavy drops the references that keep the whole simulated device
-// (hundreds of MB of real page bytes) alive: the stack and the RPS series.
-// Table runners call it once a cell's metrics are extracted, so a multi-cell
-// experiment never holds more than one stack at a time.
-func (res *CellResult) ReleaseHeavy() {
+// ReleaseHeavy tears down the cell's stack — the SlimIO rings and tail
+// buffers, the kernel page cache, staged block-layer requests, and the NAND
+// array's stored pages — then asserts the data plane quiescent: a non-zero
+// pool in-flight count after teardown is a leaked reference somewhere on the
+// zero-copy write path. Once quiescent the pool itself is closed, handing
+// its backing chunks (a device-capacity footprint) to bufpool's process-wide
+// chunk cache for the next cell. Finally it drops the references that keep
+// the whole simulated device (hundreds of MB of real page bytes) alive: the
+// stack and the RPS series. Table runners call it once a cell's metrics are
+// extracted, so a multi-cell experiment never holds more than one stack at
+// a time.
+func (res *CellResult) ReleaseHeavy() error {
+	var err error
+	if st := res.Stack; st != nil {
+		st.Close()
+		if n := st.Pool().InFlight(); n != 0 {
+			err = fmt.Errorf("exp: %s: %d pooled segments leaked after teardown", res.Label, n)
+		} else {
+			st.Pool().Close()
+		}
+	}
 	res.Stack = nil
 	res.Series = nil
+	return err
 }
 
 // mergeResult folds one repetition's latency data into the cell.

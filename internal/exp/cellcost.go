@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CellCost is the host-side allocator cost of one experiment cell: the
+// Go-heap traffic between the cell's construction and its final metric
+// extraction. It measures the harness, not the simulated system — virtual
+// time is untouched by the instrumentation.
+type CellCost struct {
+	Label      string `json:"label"`
+	Allocs     int64  `json:"allocs"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// CellCostSink collects per-cell allocator costs for the bench report, so an
+// alloc regression is attributable to one cell rather than one experiment.
+// MemStats deltas are process-wide: attach a sink only to serial runs
+// (Scale.Parallel == 1, or GOMAXPROCS == 1); with concurrent cells the
+// deltas intermix and attribution is meaningless. slimio-bench enforces
+// this at the flag level.
+type CellCostSink struct {
+	mu    sync.Mutex
+	cells []CellCost
+}
+
+// record appends one cell's cost (cells on different workers may finish
+// concurrently even when each cell's delta is serial).
+func (s *CellCostSink) record(c CellCost) {
+	s.mu.Lock()
+	s.cells = append(s.cells, c)
+	s.mu.Unlock()
+}
+
+// Drain returns the costs recorded since the last Drain, in completion
+// order, and resets the sink for the next experiment.
+func (s *CellCostSink) Drain() []CellCost {
+	s.mu.Lock()
+	out := s.cells
+	s.cells = nil
+	s.mu.Unlock()
+	return out
+}
+
+// cellCostStart snapshots the allocator counters when a sink is attached.
+func cellCostStart(sink *CellCostSink) (m0 runtime.MemStats) {
+	if sink != nil {
+		runtime.ReadMemStats(&m0)
+	}
+	return
+}
+
+// cellCostEnd records the delta since start under the cell's label.
+func cellCostEnd(sink *CellCostSink, label string, m0 runtime.MemStats) {
+	if sink == nil {
+		return
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	sink.record(CellCost{
+		Label:      label,
+		Allocs:     int64(m1.Mallocs - m0.Mallocs),
+		AllocBytes: int64(m1.TotalAlloc - m0.TotalAlloc),
+	})
+}

@@ -78,7 +78,9 @@ func RunFigure2(sc Scale) (*Figure2Result, error) {
 			s.WALTput = res.SnapRPS * recordBytes
 		}
 		res.Stack.Eng.Shutdown()
-		res.ReleaseHeavy()
+		if err := res.ReleaseHeavy(); err != nil {
+			return Figure2Scenario{}, err
+		}
 		return s, nil
 	}
 	base := CellConfig{
@@ -159,6 +161,7 @@ type TimelineResult struct {
 // for the whole window, as a conventional device in long-run steady state
 // experiences (the paper's Figure 4 regime).
 func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.Duration, gcPressure bool) (*TimelineResult, error) {
+	costM0 := cellCostStart(sc.CellCosts)
 	eng := sim.NewEngine()
 	st, err := BuildStack(eng, kind, sc)
 	if err != nil {
@@ -172,6 +175,7 @@ func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.D
 		Policy:             imdb.PeriodicalLog,
 		WALSnapshotTrigger: sc.WALTriggerBytes,
 		Trace:              st.Trace,
+		Pool:               st.Pool(),
 	}, series)
 	db.Start()
 	wl := workload.RedisBench(0, sc.KeyRange)
@@ -196,6 +200,7 @@ func RunTimeline(kind BackendKind, sc Scale, window sim.Duration, odsEvery sim.D
 	}
 	// Tear the run down so its goroutines release the simulated device.
 	eng.Shutdown()
+	cellCostEnd(sc.CellCosts, "timeline/"+kind.String(), costM0)
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/slimio/slimio/internal/baseline"
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/core"
 	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/fdp"
@@ -112,6 +113,11 @@ type Scale struct {
 	// are identical at any setting). 0 means GOMAXPROCS, 1 forces the
 	// serial harness.
 	Parallel int
+
+	// CellCosts, when non-nil, records each cell's host-side allocator
+	// traffic for the bench report. Attach only to serial runs — see
+	// CellCostSink.
+	CellCosts *CellCostSink
 
 	// Trace, when non-nil, enables virtual-time span tracing: every cell
 	// records into its own tracer (labelled by cell) in this registry,
@@ -299,6 +305,33 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 		return nil, fmt.Errorf("exp: unknown backend kind %d", kind)
 	}
 	return st, nil
+}
+
+// Pool returns the stack's shared page-buffer pool (one per cell, owned by
+// the NAND array; every layer up to the engine's WAL buffer encodes into it).
+func (st *Stack) Pool() *bufpool.Pool {
+	return st.Dev.FTL().Array().Pool()
+}
+
+// Close releases every pooled segment the stack still holds: the SlimIO
+// backend's rings and tail buffers, the kernel path's page cache and staged
+// block-layer requests, and the NAND array's stored pages. Teardown only —
+// afterwards Pool().InFlight() counts exactly the segments leaked by layers
+// above the stack (zero when the engine released its buffers too).
+func (st *Stack) Close() {
+	if st.Slim != nil {
+		st.Slim.Close()
+	}
+	if be, ok := st.Backend.(*baseline.Backend); ok {
+		// Releases the chain of a WALAppend frozen by a power cut, then
+		// closes the filesystem (Filesystem.Close is idempotent with the
+		// call below).
+		be.Close()
+	}
+	if st.FS != nil {
+		st.FS.Close()
+	}
+	st.Dev.FTL().Array().ReleaseStored()
 }
 
 // ArmPowerCut schedules a power cut at virtual time at: programs completing

@@ -43,7 +43,9 @@ func RunTable1(sc Scale) (*Table1Result, error) {
 		}
 		fs := res.Stack.FS.Profile().Name
 		res.Stack.Eng.Shutdown()
-		res.ReleaseHeavy()
+		if err := res.ReleaseHeavy(); err != nil {
+			return err
+		}
 		rows[i] = [2]Table1Row{
 			{FS: fs, Phase: "WAL Only", RPS: res.WALOnlyRPS, MemBytes: res.WALOnlyMem},
 			{FS: fs, Phase: "Snapshot&WAL", RPS: res.SnapRPS, MemBytes: res.SnapMem},
@@ -194,7 +196,9 @@ func RunTable3(sc Scale) (*OverallResult, error) {
 			name = "SlimIO"
 		}
 		res.Stack.Eng.Shutdown()
-		res.ReleaseHeavy()
+		if err := res.ReleaseHeavy(); err != nil {
+			return err
+		}
 		row := OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res}
 		if res.Trace != nil {
 			row.Attrib = vtrace.Compute(res.Trace)
@@ -245,7 +249,9 @@ func RunTable4(sc Scale) (*OverallResult, error) {
 		}
 		row := OverallRow{Policy: s.pol, System: name, Kind: s.kind, Result: res, GetP999: res.getHist.P999()}
 		res.Stack.Eng.Shutdown()
-		res.ReleaseHeavy()
+		if err := res.ReleaseHeavy(); err != nil {
+			return err
+		}
 		rows[i] = row
 		return nil
 	})
@@ -323,7 +329,7 @@ func RunTable5(sc Scale) (*Table5Result, error) {
 			return err
 		}
 		eng := cell.Stack.Eng
-		db2 := imdb.New(eng, cell.Stack.Backend, imdb.Config{}, nil)
+		db2 := imdb.New(eng, cell.Stack.Backend, imdb.Config{Pool: cell.Stack.Pool()}, nil)
 		var row Table5Row
 		var recErr error
 		eng.Spawn("recover", func(env *sim.Env) {
@@ -356,7 +362,10 @@ func RunTable5(sc Scale) (*Table5Result, error) {
 			row.System = "SlimIO"
 		}
 		cell.Stack.Eng.Shutdown()
-		cell.ReleaseHeavy()
+		db2.ReleaseBuffers() // the recovery engine never ran Shutdown
+		if err := cell.ReleaseHeavy(); err != nil {
+			return err
+		}
 		rows[i] = row
 		return nil
 	})

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
@@ -154,7 +155,7 @@ func TestZeroRatePlanBitIdentical(t *testing.T) {
 		var last sim.Time
 		for i := 0; i < 16; i++ {
 			ppa := arr.PPAOf(i%4, 0, i/4)
-			done, err := arr.Program(sim.Time(i*1000), ppa, bytes.Repeat([]byte{byte(i + 1)}, geo.PageSize))
+			done, err := arr.Program(sim.Time(i*1000), ppa, bufpool.Borrowed(bytes.Repeat([]byte{byte(i + 1)}, geo.PageSize)))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
@@ -48,7 +49,7 @@ func TestReclaimFaultSweep(t *testing.T) {
 			for i := 0; i < int(3*f.Capacity()); i++ {
 				lpa := int64(i) % lpas
 				pid := uint32(i % 3) // three lifetime streams, like WAL/snapshot/on-demand
-				done, err := f.Write(now, lpa, page(fmt.Sprintf("v%d-", i), f.PageSize()), pid)
+				done, err := f.Write(now, lpa, bufpool.Borrowed(page(fmt.Sprintf("v%d-", i), f.PageSize())), pid)
 				if err != nil {
 					t.Fatalf("write %d: %v", i, err)
 				}
@@ -120,7 +121,7 @@ func TestReclaimEraseFaultRetires(t *testing.T) {
 	now := sim.Time(0)
 	for i := 0; i < int(3*f.Capacity()); i++ {
 		lpa := int64(i) % (f.Capacity() / 3)
-		done, err := f.Write(now, lpa, page(fmt.Sprintf("e%d-", i), f.PageSize()), uint32(i%2))
+		done, err := f.Write(now, lpa, bufpool.Borrowed(page(fmt.Sprintf("e%d-", i), f.PageSize())), uint32(i%2))
 		if err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}

@@ -17,6 +17,7 @@ package fdp
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/ftl"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
@@ -413,7 +414,7 @@ func (f *FTL) readWithRetry(now sim.Time, src nand.PPA) (data []byte, done sim.T
 
 // migrateProgram places and programs data into pid's stream, retiring bad
 // destination blocks and retrying on program failure.
-func (f *FTL) migrateProgram(now sim.Time, pid uint32, data []byte) (nand.PPA, sim.Time, error) {
+func (f *FTL) migrateProgram(now sim.Time, pid uint32, data bufpool.Ref) (nand.PPA, sim.Time, error) {
 	for attempt := 0; attempt <= maxProgramRetries; attempt++ {
 		dst, ready, err := f.placePage(now, pid)
 		if err != nil {
@@ -445,7 +446,7 @@ func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
 		if src == nand.InvalidPPA || !f.retired[f.arr.BlockOf(src)] {
 			continue // invalidated or already moved since queued
 		}
-		data, rdone, ok, err := f.readWithRetry(now, src)
+		_, rdone, ok, err := f.readWithRetry(now, src)
 		if err != nil {
 			return now, err
 		}
@@ -456,7 +457,7 @@ func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
 			continue
 		}
 		pid := f.rus[f.ruOf[f.arr.BlockOf(src)]].pid
-		dst, wdone, err := f.migrateProgram(rdone, pid, data)
+		dst, wdone, err := f.migrateProgram(rdone, pid, f.arr.StoredRef(src))
 		if err != nil {
 			return now, err
 		}
@@ -593,7 +594,7 @@ func (f *FTL) reclaim(now sim.Time) (done sim.Time, reclaimed bool, err error) {
 				if lpa < 0 {
 					continue
 				}
-				data, rdone, ok, err := f.readWithRetry(now, src)
+				_, rdone, ok, err := f.readWithRetry(now, src)
 				if err != nil {
 					return now, false, fmt.Errorf("fdp: reclaim read: %w", err)
 				}
@@ -605,7 +606,9 @@ func (f *FTL) reclaim(now sim.Time) (done sim.Time, reclaimed bool, err error) {
 					f.inc("fdp.lpa_lost")
 					continue
 				}
-				dst, wdone, err := f.migrateProgram(rdone, victim.pid, data)
+				// Re-program the stored segment itself (no copy): the
+				// destination retains it, the victim's erase releases it.
+				dst, wdone, err := f.migrateProgram(rdone, victim.pid, f.arr.StoredRef(src))
 				if err != nil {
 					return now, false, fmt.Errorf("fdp: reclaim program: %w", err)
 				}
@@ -711,7 +714,7 @@ func (f *FTL) placePage(now sim.Time, pid uint32) (nand.PPA, sim.Time, error) {
 // stranded valid pages migrate, and the write retries on a fresh page. A
 // torn program (power cut mid-write) returns the device error after
 // recording honest post-crash mapping state — see commitTorn.
-func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
+func (f *FTL) Write(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (done sim.Time, err error) {
 	if err := f.checkLPA(lpa); err != nil {
 		return now, err
 	}
@@ -824,6 +827,6 @@ func NewConventional(arr *nand.Array, cfg Config) (*Conventional, error) {
 }
 
 // Write stores one page at lpa, ignoring the placement hint.
-func (c *Conventional) Write(now sim.Time, lpa int64, data []byte, pid uint32) (sim.Time, error) {
+func (c *Conventional) Write(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (sim.Time, error) {
 	return c.FTL.Write(now, lpa, data, 0)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 )
@@ -65,7 +66,7 @@ func TestIndivisibleRUSizeRejected(t *testing.T) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	f := newTestFTL(t, 8)
 	want := page("fdp", 128)
-	if _, err := f.Write(0, 5, want, 1); err != nil {
+	if _, err := f.Write(0, 5, bufpool.Borrowed(want), 1); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := f.Read(0, 5)
@@ -79,10 +80,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 
 func TestPIDLimitEnforced(t *testing.T) {
 	f := newTestFTL(t, 8)
-	if _, err := f.Write(0, 0, page("x", 128), 8); err == nil {
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("x", 128)), 8); err == nil {
 		t.Fatal("PID 8 accepted on an 8-PID device")
 	}
-	if _, err := f.Write(0, 0, page("x", 128), 7); err != nil {
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("x", 128)), 7); err != nil {
 		t.Fatalf("PID 7 rejected: %v", err)
 	}
 }
@@ -91,10 +92,10 @@ func TestPIDSeparation(t *testing.T) {
 	f := newTestFTL(t, 8)
 	// Write one page with PID 1 and one with PID 2: they must land in
 	// different reclaim units.
-	if _, err := f.Write(0, 0, page("a", 128), 1); err != nil {
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("a", 128)), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Write(0, 1, page("b", 128), 2); err != nil {
+	if _, err := f.Write(0, 1, bufpool.Borrowed(page("b", 128)), 2); err != nil {
 		t.Fatal(err)
 	}
 	ru0 := f.ruOf[f.arr.BlockOf(f.l2p[0])]
@@ -110,7 +111,7 @@ func TestPIDSeparation(t *testing.T) {
 func TestSamePIDSharesRU(t *testing.T) {
 	f := newTestFTL(t, 8)
 	for lpa := int64(0); lpa < 4; lpa++ {
-		if _, err := f.Write(0, lpa, page("x", 128), 3); err != nil {
+		if _, err := f.Write(0, lpa, bufpool.Borrowed(page("x", 128)), 3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func TestLifetimeSeparationWAFOne(t *testing.T) {
 	// Stream 1: a circular log (short-lived). Stream 2: long-lived data
 	// written once. Many log rounds force reclaim.
 	for lpa := int64(0); lpa < region; lpa++ {
-		done, err := f.Write(now, region*2+lpa, page("cold", 128), 2)
+		done, err := f.Write(now, region*2+lpa, bufpool.Borrowed(page("cold", 128)), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestLifetimeSeparationWAFOne(t *testing.T) {
 	}
 	for round := 0; round < 20; round++ {
 		for lpa := int64(0); lpa < region; lpa++ {
-			done, err := f.Write(now, lpa, page("log", 128), 1)
+			done, err := f.Write(now, lpa, bufpool.Borrowed(page("log", 128)), 1)
 			if err != nil {
 				t.Fatalf("round %d: %v", round, err)
 			}
@@ -182,7 +183,7 @@ func TestMixedLifetimesInOnePIDAmplify(t *testing.T) {
 	now := sim.Time(0)
 	hot := f.Capacity() / 2
 	for i := 0; i < int(f.Capacity())*5; i++ {
-		done, err := f.Write(now, rng.Int63n(hot), page("m", 128), 1)
+		done, err := f.Write(now, rng.Int63n(hot), bufpool.Borrowed(page("m", 128)), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestReclaimPreservesData(t *testing.T) {
 	for i := 0; i < int(f.Capacity())*4; i++ {
 		lpa := rng.Int63n(hot)
 		v := fmt.Sprintf("%d:%d", lpa, i)
-		done, err := f.Write(now, lpa, page(v, 128), uint32(lpa%3))
+		done, err := f.Write(now, lpa, bufpool.Borrowed(page(v, 128)), uint32(lpa%3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestReclaimPreservesData(t *testing.T) {
 func TestStatsByPID(t *testing.T) {
 	f := newTestFTL(t, 8)
 	for i := int64(0); i < 6; i++ {
-		if _, err := f.Write(0, i, page("x", 128), uint32(i%2+1)); err != nil {
+		if _, err := f.Write(0, i, bufpool.Borrowed(page("x", 128)), uint32(i%2+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -247,7 +248,7 @@ func TestStatsByPID(t *testing.T) {
 
 func TestUsageSnapshot(t *testing.T) {
 	f := newTestFTL(t, 8)
-	if _, err := f.Write(0, 0, page("x", 128), 1); err != nil {
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("x", 128)), 1); err != nil {
 		t.Fatal(err)
 	}
 	usage := f.Usage()
@@ -322,7 +323,7 @@ func TestFDPIntegrityProperty(t *testing.T) {
 				continue
 			}
 			v := []byte(fmt.Sprintf("%d.%d", seed, i))
-			done, err := f.Write(now, lpa, v, uint32(rng.Intn(3)))
+			done, err := f.Write(now, lpa, bufpool.Borrowed(v), uint32(rng.Intn(3)))
 			if err != nil {
 				return false
 			}
@@ -346,10 +347,10 @@ func TestFDPIntegrityProperty(t *testing.T) {
 // same-PID page writes go to different dies.
 func TestRUStripingParallelism(t *testing.T) {
 	f := newTestFTL(t, 8)
-	if _, err := f.Write(0, 0, page("a", 128), 1); err != nil {
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("a", 128)), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Write(0, 1, page("b", 128), 1); err != nil {
+	if _, err := f.Write(0, 1, bufpool.Borrowed(page("b", 128)), 1); err != nil {
 		t.Fatal(err)
 	}
 	d0 := f.arr.DieOf(f.l2p[0])
@@ -367,7 +368,7 @@ func TestWearLeveling(t *testing.T) {
 	region := f.Capacity() / 4
 	for round := 0; round < 40; round++ {
 		for lpa := int64(0); lpa < region; lpa++ {
-			done, err := f.Write(now, lpa, page("w", 128), 1)
+			done, err := f.Write(now, lpa, bufpool.Borrowed(page("w", 128)), 1)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
@@ -46,7 +47,7 @@ func TestGCFaultSweep(t *testing.T) {
 			now := sim.Time(0)
 			for i := 0; i < int(3*f.Capacity()); i++ {
 				lpa := int64(i) % lpas
-				done, err := f.Write(now, lpa, page(fmt.Sprintf("v%d-", i), f.PageSize()), 0)
+				done, err := f.Write(now, lpa, bufpool.Borrowed(page(fmt.Sprintf("v%d-", i), f.PageSize())), 0)
 				if err != nil {
 					t.Fatalf("write %d: %v", i, err)
 				}
@@ -123,7 +124,7 @@ func TestGCProgramFailureRetires(t *testing.T) {
 	now := sim.Time(0)
 	for i := 0; i < int(3*f.Capacity()); i++ {
 		lpa := int64(i) % (f.Capacity() / 4)
-		done, err := f.Write(now, lpa, page(fmt.Sprintf("g%d-", i), f.PageSize()), 0)
+		done, err := f.Write(now, lpa, bufpool.Borrowed(page(fmt.Sprintf("g%d-", i), f.PageSize())), 0)
 		if err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}

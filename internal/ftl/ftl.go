@@ -14,6 +14,7 @@ package ftl
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
@@ -343,7 +344,7 @@ func (f *FTL) collect(now sim.Time, die int) (done sim.Time, reclaimed bool, err
 		if lpa < 0 {
 			continue
 		}
-		data, rdone, ok, err := f.readWithRetry(now, src)
+		_, rdone, ok, err := f.readWithRetry(now, src)
 		if err != nil {
 			return now, false, fmt.Errorf("ftl: GC read: %w", err)
 		}
@@ -357,8 +358,10 @@ func (f *FTL) collect(now sim.Time, die int) (done sim.Time, reclaimed bool, err
 		}
 		// Migrate within this die: pull the destination from the die's own
 		// write front (allocating a fresh block if needed); program
-		// failures retire the destination block and retry elsewhere.
-		dst, wdone, err := f.migrateProgram(rdone, die, data)
+		// failures retire the destination block and retry elsewhere. The
+		// stored ref re-programs the same pooled segment without copying:
+		// the destination page retains it, the victim's erase releases it.
+		dst, wdone, err := f.migrateProgram(rdone, die, f.arr.StoredRef(src))
 		if err != nil {
 			return now, false, fmt.Errorf("ftl: GC program: %w", err)
 		}
@@ -492,7 +495,7 @@ func (f *FTL) allocMigrate(prefDie int) (nand.PPA, error) {
 
 // migrateProgram programs data onto a fresh page, retiring the destination
 // block and retrying elsewhere on program failure.
-func (f *FTL) migrateProgram(now sim.Time, prefDie int, data []byte) (nand.PPA, sim.Time, error) {
+func (f *FTL) migrateProgram(now sim.Time, prefDie int, data bufpool.Ref) (nand.PPA, sim.Time, error) {
 	for attempt := 0; attempt <= maxProgramRetries; attempt++ {
 		dst, err := f.allocMigrate(prefDie)
 		if err != nil {
@@ -527,7 +530,7 @@ func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
 		if src == nand.InvalidPPA || !f.retired[f.arr.BlockOf(src)] {
 			continue // invalidated or already moved since queued
 		}
-		data, rdone, ok, err := f.readWithRetry(now, src)
+		_, rdone, ok, err := f.readWithRetry(now, src)
 		if err != nil {
 			return now, err
 		}
@@ -537,7 +540,7 @@ func (f *FTL) drainRetired(now sim.Time) (sim.Time, error) {
 			f.inc("ftl.lpa_lost")
 			continue
 		}
-		dst, wdone, err := f.migrateProgram(rdone, f.arr.DieOf(src), data)
+		dst, wdone, err := f.migrateProgram(rdone, f.arr.DieOf(src), f.arr.StoredRef(src))
 		if err != nil {
 			return now, err
 		}
@@ -581,7 +584,7 @@ func (f *FTL) commitTorn(lpa int64, ppa nand.PPA) {
 // stranded valid pages migrate to healthy media, and the write retries on a
 // fresh page — the host never sees the media failure, mirroring how real
 // FTLs hide grown bad blocks.
-func (f *FTL) Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error) {
+func (f *FTL) Write(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (done sim.Time, err error) {
 	_ = pid
 	if err := f.checkLPA(lpa); err != nil {
 		return now, err

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 )
@@ -32,7 +33,7 @@ func page(s string, size int) []byte {
 func TestWriteReadRoundTrip(t *testing.T) {
 	f := newTestFTL(t, 8)
 	want := page("abc", 128)
-	if _, err := f.Write(0, 7, want, 0); err != nil {
+	if _, err := f.Write(0, 7, bufpool.Borrowed(want), 0); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := f.Read(0, 7)
@@ -51,7 +52,7 @@ func TestOverwriteReturnsLatest(t *testing.T) {
 	f := newTestFTL(t, 8)
 	for i := 0; i < 5; i++ {
 		data := page(fmt.Sprintf("v%d", i), 128)
-		if _, err := f.Write(0, 3, data, 0); err != nil {
+		if _, err := f.Write(0, 3, bufpool.Borrowed(data), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -77,10 +78,10 @@ func TestReadUnmappedFails(t *testing.T) {
 
 func TestLPABounds(t *testing.T) {
 	f := newTestFTL(t, 8)
-	if _, err := f.Write(0, -1, nil, 0); err == nil {
+	if _, err := f.Write(0, -1, bufpool.Ref{}, 0); err == nil {
 		t.Fatal("negative LPA accepted")
 	}
-	if _, err := f.Write(0, f.Capacity(), nil, 0); err == nil {
+	if _, err := f.Write(0, f.Capacity(), bufpool.Ref{}, 0); err == nil {
 		t.Fatal("LPA past capacity accepted")
 	}
 	if err := f.Deallocate(f.Capacity()-1, 2); err == nil {
@@ -110,7 +111,7 @@ func TestCapacityRespectsOverProvision(t *testing.T) {
 func TestDeallocate(t *testing.T) {
 	f := newTestFTL(t, 8)
 	for lpa := int64(0); lpa < 10; lpa++ {
-		if _, err := f.Write(0, lpa, page("x", 128), 0); err != nil {
+		if _, err := f.Write(0, lpa, bufpool.Borrowed(page("x", 128)), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func TestGCPreservesData(t *testing.T) {
 	for i := 0; i < int(f.Capacity())*4; i++ {
 		lpa := rng.Int63n(hot)
 		v := fmt.Sprintf("%d:%d", lpa, i)
-		done, err := f.Write(now, lpa, page(v, 128), 0)
+		done, err := f.Write(now, lpa, bufpool.Borrowed(page(v, 128)), 0)
 		if err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
@@ -176,7 +177,7 @@ func TestSequentialTrimWorkloadNoWAF(t *testing.T) {
 	region := f.Capacity() / 2
 	for round := 0; round < 8; round++ {
 		for lpa := int64(0); lpa < region; lpa++ {
-			done, err := f.Write(now, lpa, page("s", 128), 0)
+			done, err := f.Write(now, lpa, bufpool.Borrowed(page("s", 128)), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -201,7 +202,7 @@ func TestGCStallsHostWrites(t *testing.T) {
 	lat := f.arr.Latencies()
 	for i := 0; i < int(f.Capacity())*3; i++ {
 		lpa := rng.Int63n(hot)
-		done, err := f.Write(now, lpa, page("x", 128), 0)
+		done, err := f.Write(now, lpa, bufpool.Borrowed(page("x", 128)), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func TestDeviceFullErrors(t *testing.T) {
 	// GC cannot help forever, so the error must eventually surface.
 	for lpa := int64(0); lpa < f.Capacity()*2; lpa++ {
 		var done sim.Time
-		done, err = f.Write(now, lpa%f.Capacity(), page("f", 128), 0)
+		done, err = f.Write(now, lpa%f.Capacity(), bufpool.Borrowed(page("f", 128)), 0)
 		if err != nil {
 			break
 		}
@@ -246,7 +247,7 @@ func TestGCLogRecorded(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	now := sim.Time(0)
 	for i := 0; i < int(f.Capacity())*3; i++ {
-		done, err := f.Write(now, rng.Int63n(f.Capacity()/2), page("x", 128), 0)
+		done, err := f.Write(now, rng.Int63n(f.Capacity()/2), bufpool.Borrowed(page("x", 128)), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func TestGCLogRecorded(t *testing.T) {
 func TestStatsWAFIdentityNoGC(t *testing.T) {
 	f := newTestFTL(t, 8)
 	for lpa := int64(0); lpa < 20; lpa++ {
-		if _, err := f.Write(0, lpa, page("x", 128), 0); err != nil {
+		if _, err := f.Write(0, lpa, bufpool.Borrowed(page("x", 128)), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -311,7 +312,7 @@ func TestFTLIntegrityProperty(t *testing.T) {
 				continue
 			}
 			v := []byte(fmt.Sprintf("%d.%d", seed, i))
-			done, err := f.Write(now, lpa, v, 0)
+			done, err := f.Write(now, lpa, bufpool.Borrowed(v), 0)
 			if err != nil {
 				return false
 			}

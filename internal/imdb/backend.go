@@ -9,7 +9,10 @@
 // path) and internal/core (SlimIO: io_uring passthru onto raw LBA space).
 package imdb
 
-import "github.com/slimio/slimio/internal/sim"
+import (
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/wal"
+)
 
 // SnapshotKind distinguishes the paper's two snapshot types.
 type SnapshotKind int
@@ -73,8 +76,11 @@ type Backend interface {
 	Label() string
 
 	// WALAppend writes log bytes at the tail of the current log segment.
-	// Durability is only guaranteed after WALSync returns.
-	WALAppend(env *sim.Env, data []byte) error
+	// Durability is only guaranteed after WALSync returns. The chain's
+	// segment references transfer to the backend (see wal.Chain), EXCEPT on
+	// error: a failed append leaves ownership with the caller so the bytes
+	// can be parked and retried when log space frees up.
+	WALAppend(env *sim.Env, data wal.Chain) error
 	// WALSync makes all appended WAL bytes durable.
 	WALSync(env *sim.Env) error
 	// WALDurableSize reports bytes appended to the current log segment

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/snapshot"
@@ -161,6 +162,10 @@ type Config struct {
 	SnapshotChunk int
 	// Cost is the CPU cost model; zero value selects DefaultCostModel.
 	Cost CostModel
+	// Pool supplies the page segments the WAL buffer encodes into — share
+	// the backend device's pool so drained segments flow to NAND without a
+	// copy. Nil creates a private 4 KiB pool (tests, toy setups).
+	Pool *bufpool.Pool
 	// Trace, when non-nil, records one op-layer root span per client
 	// command (queue / apply / commit.wait children), wal-layer root trees
 	// per flush, and snapshot-layer root trees per snapshot child. The
@@ -185,6 +190,9 @@ func (c *Config) fillDefaults() {
 	if c.Cost.CmdBaseCPU == 0 {
 		c.Cost = DefaultCostModel()
 	}
+	if c.Pool == nil {
+		c.Pool = bufpool.New(4096)
+	}
 }
 
 // Engine is the database server: one event-loop process, a request queue,
@@ -197,15 +205,16 @@ type Engine struct {
 	store *Store
 	reqQ  *sim.Queue[*Request]
 
-	walBuf wal.Buffer
+	walBuf *wal.Buffer
 	// walRotated marks that the running WAL-Snapshot rotated the log at
 	// fork, so its completion should discard the sealed segment.
 	walRotated bool
 	// walPending holds drained log bytes the backend could not accept
 	// (log space exhausted while a snapshot runs); they are retried when
-	// the snapshot completes. While non-nil, appended data is NOT durable —
-	// the write-stall regime of Figure 4.
-	walPending []byte
+	// the snapshot completes. While non-empty, appended data is NOT durable
+	// — the write-stall regime of Figure 4. The engine owns the chain's
+	// segment references until a retry succeeds.
+	walPending wal.Chain
 
 	syncing  bool
 	syncDone *sim.Broadcast
@@ -233,6 +242,7 @@ func New(eng *sim.Engine, be Backend, cfg Config, opSeries *metrics.Series) *Eng
 		eng:      eng,
 		be:       be,
 		cfg:      cfg,
+		walBuf:   wal.NewBuffer(cfg.Pool),
 		store:    NewStore(cfg.Cost.MemPageSize),
 		reqQ:     sim.NewQueue[*Request](eng),
 		dictLock: sim.NewResource(eng, 1),
@@ -381,7 +391,7 @@ func (e *Engine) memoryBase() int64 {
 // memoryNow adds snapshot-period overheads: COW page copies and the WAL
 // rewrite buffer (Table 1's near-doubling comes from the COW term).
 func (e *Engine) memoryNow() int64 {
-	m := e.memoryBase() + int64(e.walBuf.Len()+len(e.walPending))
+	m := e.memoryBase() + int64(e.walBuf.Len()+e.walPending.Len())
 	if e.snapActive {
 		// The child shares pages with the parent until COW faults copy them.
 		m += e.store.CopiedPages() * e.store.PageSize()
@@ -514,6 +524,7 @@ func (e *Engine) mainLoop(env *sim.Env) {
 				e.syncDone.Wait(env)
 			}
 			err := e.flushWAL(env)
+			e.ReleaseBuffers() // drop the retained tail and any parked chain
 			e.stopped = true
 			e.stopReq.Reply.Fire(&Response{Err: err})
 			return
@@ -552,7 +563,7 @@ func (e *Engine) execSet(env *sim.Env, r *Request) {
 		}
 	}
 
-	e.walBuf.Append(wal.OpSet, []byte(r.Key), r.Value)
+	e.walBuf.AppendString(wal.OpSet, r.Key, r.Value)
 	e.stats.Sets++
 	e.countOp(env)
 	e.traceApply(env, r, start)
@@ -576,7 +587,7 @@ func (e *Engine) execDel(env *sim.Env, r *Request) {
 			e.stats.COWStall += env.Now().Sub(t0)
 		}
 	}
-	e.walBuf.Append(wal.OpDel, []byte(r.Key), nil)
+	e.walBuf.AppendString(wal.OpDel, r.Key, nil)
 	e.stats.Dels++
 	e.countOp(env)
 	e.traceApply(env, r, start)
@@ -595,24 +606,27 @@ func (e *Engine) countOp(env *sim.Env) {
 // lose durability until the stall clears, as §5.4 observes for direct-write
 // designs under device pressure.
 func (e *Engine) appendWAL(env *sim.Env, parent vtrace.SpanID) error {
-	if len(e.walPending) > 0 {
+	if !e.walPending.Empty() {
 		// Already stalled on log space: nothing can free it except a
-		// snapshot completion, so keep buffering instead of burning a
-		// full copy of the parked bytes on every retry.
+		// snapshot completion, so keep buffering instead of re-offering
+		// the parked chain on every retry.
 		return nil
 	}
 	if e.walBuf.Len() == 0 {
 		return nil
 	}
 	data := e.walBuf.Drain()
+	n := int64(data.Len())
 	tr := e.cfg.Trace
 	span := tr.Begin("wal", "append", parent, env.Now())
-	tr.SetArg(span, int64(len(data)))
+	tr.SetArg(span, n)
 	tr.SetScope(span)
 	err := e.be.WALAppend(env, data)
 	tr.SetScope(0)
 	tr.End(span, env.Now())
 	if err != nil {
+		// On error the chain's references stay with the engine (see
+		// imdb.Backend): park and retry at snapshot completion.
 		if e.snapActive {
 			e.walPending = data
 			e.stats.WALStalls++
@@ -625,10 +639,11 @@ func (e *Engine) appendWAL(env *sim.Env, parent vtrace.SpanID) error {
 			e.stats.WALStalls++
 			return nil
 		}
+		data.Release()
 		return err
 	}
 	e.stats.WALFlushes++
-	e.stats.WALBytes += int64(len(data))
+	e.stats.WALBytes += n
 	return nil
 }
 
@@ -674,9 +689,12 @@ func (e *Engine) maybeStartSnapshot(env *sim.Env, kind SnapshotKind) {
 		// Rotate the log at the fork point (Redis 7 multipart-AOF style):
 		// pre-fork records stay in the sealed segment that the snapshot
 		// will supersede; post-fork records start a fresh segment.
-		if err := e.appendWAL(env, 0); err == nil && len(e.walPending) == 0 {
+		if err := e.appendWAL(env, 0); err == nil && e.walPending.Empty() {
 			if err := e.be.WALRotate(env); err == nil {
 				e.walRotated = true
+				// Start the post-fork records on a fresh segment so the
+				// buffer's page boundaries track the new log head.
+				e.walBuf.Cut()
 			}
 		}
 	}
@@ -810,12 +828,13 @@ func (e *Engine) finishSnapshot(env *sim.Env, res *snapResult) {
 	e.snapDone.Notify()
 	// Retry any bytes parked during the snapshot (On-Demand completions do
 	// not clear the log, so the parked data still needs appending).
-	if len(e.walPending) > 0 {
+	if !e.walPending.Empty() {
 		data := e.walPending
-		e.walPending = nil
+		e.walPending = wal.Chain{}
+		n := int64(data.Len())
 		tr := e.cfg.Trace
 		span := tr.Begin("wal", "append", 0, env.Now())
-		tr.SetArg(span, int64(len(data)))
+		tr.SetArg(span, n)
 		tr.SetScope(span)
 		err := e.be.WALAppend(env, data)
 		tr.SetScope(0)
@@ -826,9 +845,18 @@ func (e *Engine) finishSnapshot(env *sim.Env, res *snapResult) {
 			e.stats.WALStalls++
 		} else {
 			e.stats.WALFlushes++
-			e.stats.WALBytes += int64(len(data))
+			e.stats.WALBytes += n
 		}
 	}
+}
+
+// ReleaseBuffers drops every pooled segment the engine still holds — the WAL
+// buffer's tail and any parked (stalled) chain. Teardown only: experiment
+// cells call it before asserting pool quiescence. Parked bytes were never
+// durable, so dropping them models exactly what the stall regime loses.
+func (e *Engine) ReleaseBuffers() {
+	e.walBuf.Close()
+	e.walPending.Release()
 }
 
 // LastSnapshot returns the most recent completed snapshot event, or nil.

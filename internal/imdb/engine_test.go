@@ -30,9 +30,10 @@ func newMemBackend(eng *sim.Engine) *memBackend {
 
 func (m *memBackend) Label() string { return "mem" }
 
-func (m *memBackend) WALAppend(env *sim.Env, data []byte) error {
+func (m *memBackend) WALAppend(env *sim.Env, data wal.Chain) error {
 	env.Sleep(m.walLatency)
-	m.walData = append(m.walData, data...)
+	m.walData = data.AppendTo(m.walData)
+	data.Release()
 	return nil
 }
 

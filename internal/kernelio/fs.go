@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 	"github.com/slimio/slimio/internal/vtrace"
@@ -32,9 +33,17 @@ type FSStats struct {
 }
 
 type cachePage struct {
+	seg      *bufpool.Segment // pooled backing store for data
 	data     []byte
 	dirty    bool
 	inflight bool
+}
+
+// free returns the page's pooled segment. The page must not be used after.
+func (pg *cachePage) free() {
+	pg.seg.Release()
+	pg.seg = nil
+	pg.data = nil
 }
 
 // File is an open file on the simulated filesystem. Dirty pages are never
@@ -118,31 +127,27 @@ type Filesystem struct {
 	// background flusher. Shared with the scheduler via SetTracer.
 	trace *vtrace.Tracer
 
-	// wbPool recycles the page-sized buffers that carry cache-page snapshots
-	// to the device (collectDirty and the writeback daemon copy each page
-	// before submitting; the device has consumed the bytes by the time the
-	// request's Done fires, so the buffer returns here). Every flushed page
-	// used to allocate its own copy.
-	wbPool [][]byte
+	// pool is the device stack's shared page-buffer pool. Cache pages and
+	// writeback copies both live in it; writeback submissions transfer their
+	// references to the block scheduler, which releases them once the device
+	// has consumed the request.
+	pool *bufpool.Pool
+
+	// commitRec is the reusable journal-commit record payload, submitted to
+	// the device as a borrowed (non-pooled) reference at every commit.
+	commitRec []byte
 }
 
-// getWBBuf returns a full page buffer for a writeback copy. Contents are
-// unspecified; the caller overwrites the whole page.
-func (fs *Filesystem) getWBBuf() []byte {
-	if n := len(fs.wbPool); n > 0 {
-		buf := fs.wbPool[n-1]
-		fs.wbPool = fs.wbPool[:n-1]
-		return buf
-	}
-	return make([]byte, fs.pageSize())
-}
-
-// putWBBuf recycles a writeback buffer once the device request completed.
-func (fs *Filesystem) putWBBuf(buf []byte) {
-	if int64(cap(buf)) != fs.pageSize() {
-		return
-	}
-	fs.wbPool = append(fs.wbPool, buf[:fs.pageSize()])
+// newCachePage hands out a zeroed pooled page. Zeroing is load-bearing: the
+// pool recycles segments, and a stale tail persisted past the file's logical
+// end would read back after a crash as mid-page garbage — which WAL decoding
+// classifies as corruption — instead of the clean all-zero tail an unwritten
+// page is expected to show.
+func (fs *Filesystem) newCachePage() *cachePage {
+	s := fs.pool.Get()
+	b := s.Bytes()
+	clear(b)
+	return &cachePage{seg: s, data: b}
 }
 
 // NewFilesystem mounts a fresh filesystem on dev, using the given scheduler
@@ -161,6 +166,8 @@ func NewFilesystem(eng *sim.Engine, dev *ssd.Device, prof Profile, mode SchedMod
 		drained:     sim.NewBroadcast(eng),
 		commitDone:  sim.NewBroadcast(eng),
 		nextTicket:  1, // commitSeq starts at 0, so the first fsync commits
+		pool:        dev.FTL().Array().Pool(),
+		commitRec:   commitRecord(dev.PageSize()),
 	}
 	eng.SpawnDaemon("writeback:"+prof.Name, fs.writeback)
 	return fs
@@ -290,6 +297,8 @@ func (fs *Filesystem) Remount(eng *sim.Engine) *Filesystem {
 		nextTicket:        1,
 		placementHint:     fs.placementHint,
 		tolerateUnwritten: true,
+		pool:              fs.pool,
+		commitRec:         commitRecord(fs.dev.PageSize()),
 	}
 	nfs.SetTracer(fs.trace)
 	for name, f := range fs.files {
@@ -401,7 +410,7 @@ func (f *File) Write(env *sim.Env, off int64, data []byte) error {
 	for idx := firstIdx; idx <= lastIdx; idx++ {
 		pg := f.pages[idx]
 		if pg == nil {
-			pg = &cachePage{data: make([]byte, ps)}
+			pg = fs.newCachePage()
 			f.pages[idx] = pg
 		}
 		pageOff := off + int64(pos) - idx*ps
@@ -463,9 +472,10 @@ func (f *File) collectDirty(max int) ([]ssd.PageWrite, []*cachePage) {
 		pg.inflight = true
 		f.inflightN++
 		f.fs.dirtyCount--
-		data := f.fs.getWBBuf()[:len(pg.data)]
+		s := f.fs.pool.Get()
+		data := s.Bytes()[:len(pg.data)]
 		copy(data, pg.data)
-		out = append(out, ssd.PageWrite{LPA: lpa, Data: data, PID: f.fs.pidOf(f.name)})
+		out = append(out, ssd.PageWrite{LPA: lpa, Data: bufpool.Ref{Seg: s, B: data}, PID: f.fs.pidOf(f.name)})
 		flushed = append(flushed, pg)
 	}
 	f.dirtyIdx = keep
@@ -499,9 +509,6 @@ func (f *File) Fsync(env *sim.Env) error {
 		req := fs.sched.Submit(batch, true)
 		tr.SetScope(0)
 		err, _ := req.Done.Wait(env).(error)
-		for i := range batch {
-			fs.putWBBuf(batch[i].Data)
-		}
 		if err != nil {
 			return err
 		}
@@ -538,7 +545,7 @@ func (f *File) Fsync(env *sim.Env) error {
 		for i := 0; i < fs.prof.CommitPages; i++ {
 			lpa := fs.metaCursor % metaPages
 			fs.metaCursor++
-			metas = append(metas, ssd.PageWrite{LPA: lpa, Data: commitRecord(fs.dev.PageSize())})
+			metas = append(metas, ssd.PageWrite{LPA: lpa, Data: bufpool.Borrowed(fs.commitRec)})
 		}
 		tr.SetScope(commitSpan)
 		req := fs.sched.Submit(metas, true)
@@ -653,15 +660,22 @@ func (f *File) fillFrom(env *sim.Env, idx int64) error {
 		// never flushed). Read page by page, substituting zeros for
 		// unmapped LPAs without touching the device.
 		for i := int64(0); i < run; i++ {
-			buf := make([]byte, ps)
+			// Read before taking a pooled page: the device wait can freeze
+			// this process at a power cut, and a page held only by this stack
+			// frame would leak.
+			var data [][]byte
 			if fs.dev.Mapped(lpa + i) {
-				pg, err := fs.dev.Read(env, lpa+i, 1)
+				var err error
+				data, err = fs.dev.Read(env, lpa+i, 1)
 				if err != nil {
 					return err
 				}
-				copy(buf, pg[0])
 			}
-			f.pages[idx+i] = &cachePage{data: buf}
+			pg := fs.newCachePage()
+			if len(data) > 0 {
+				copy(pg.data, data[0])
+			}
+			f.pages[idx+i] = pg
 		}
 		return nil
 	}
@@ -670,9 +684,9 @@ func (f *File) fillFrom(env *sim.Env, idx int64) error {
 		return err
 	}
 	for i := int64(0); i < run; i++ {
-		buf := make([]byte, ps)
-		copy(buf, pages[i])
-		f.pages[idx+i] = &cachePage{data: buf}
+		pg := fs.newCachePage()
+		copy(pg.data, pages[i])
+		f.pages[idx+i] = pg
 	}
 	return nil
 }
@@ -691,6 +705,7 @@ func (f *File) Truncate(size int64) {
 	firstDead := (size + ps - 1) / ps
 	for idx, pg := range f.pages {
 		if idx >= firstDead && !pg.dirty && !pg.inflight {
+			pg.free()
 			delete(f.pages, idx)
 		}
 	}
@@ -730,6 +745,9 @@ func (fs *Filesystem) Delete(env *sim.Env, name string) error {
 		fs.freeExtents = append(fs.freeExtents, base)
 	}
 	f.extents = nil
+	for _, pg := range f.pages {
+		pg.free()
+	}
 	f.pages = nil
 	// Metadata update for the unlink.
 	fs.journal.Acquire(env)
@@ -744,10 +762,28 @@ func (fs *Filesystem) DropCaches() {
 	for _, f := range fs.files {
 		for idx, pg := range f.pages {
 			if !pg.dirty && !pg.inflight {
+				pg.free()
 				delete(f.pages, idx)
 			}
 		}
 	}
+}
+
+// Close releases every pooled buffer the filesystem still holds — cached
+// pages, and write payloads staged at (or frozen inside) the block
+// scheduler. Teardown only, e.g. before a pool-quiescence check; the
+// filesystem must not be used afterwards.
+func (fs *Filesystem) Close() {
+	fs.sched.DropPending()
+	for _, f := range fs.files {
+		for _, pg := range f.pages {
+			pg.free()
+		}
+		f.pages = nil
+		f.dirtyIdx = nil
+	}
+	fs.dirtyQ = nil
+	fs.dirtyCount = 0
 }
 
 // wbInflight is one writeback command awaiting device completion.
@@ -794,9 +830,10 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 				fs.dirtyCount--
 				// Remove from the file's own dirty list lazily: collectDirty
 				// skips non-dirty entries.
-				data := fs.getWBBuf()[:len(pg.data)]
+				s := fs.pool.Get()
+				data := s.Bytes()[:len(pg.data)]
 				copy(data, pg.data)
-				batch = append(batch, ssd.PageWrite{LPA: lpa, Data: data, PID: fs.pidOf(ref.f.name)})
+				batch = append(batch, ssd.PageWrite{LPA: lpa, Data: bufpool.Ref{Seg: s, B: data}, PID: fs.pidOf(ref.f.name)})
 				touched = append(touched, ref.f)
 				flushed = append(flushed, pg)
 			}
@@ -826,9 +863,6 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 		w.req.Done.Wait(env)
 		fs.trace.End(w.span, env.Now())
 		fs.stats.WritebackPages += int64(len(w.req.Pages))
-		for i := range w.req.Pages {
-			fs.putWBBuf(w.req.Pages[i].Data)
-		}
 		for i, f := range w.touched {
 			w.flushed[i].inflight = false
 			f.clearInflight(1)

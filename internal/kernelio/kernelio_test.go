@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/ftl"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
@@ -331,9 +332,9 @@ func TestSyncPrioritySchedulerFavorsFsync(t *testing.T) {
 		eng.Spawn("submitter", func(env *sim.Env) {
 			page := make([]byte, 512)
 			for i := 0; i < 100; i++ {
-				sched.Submit([]ssd.PageWrite{{LPA: int64(100 + i), Data: page}}, false)
+				sched.Submit([]ssd.PageWrite{{LPA: int64(100 + i), Data: bufpool.Borrowed(page)}}, false)
 			}
-			req := sched.Submit([]ssd.PageWrite{{LPA: 50, Data: page}}, true)
+			req := sched.Submit([]ssd.PageWrite{{LPA: 50, Data: bufpool.Borrowed(page)}}, true)
 			t0 := env.Now()
 			req.Done.Wait(env)
 			lat = env.Now().Sub(t0)

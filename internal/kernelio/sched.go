@@ -1,6 +1,7 @@
 package kernelio
 
 import (
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
 	"github.com/slimio/slimio/internal/vtrace"
@@ -29,6 +30,11 @@ func (m SchedMode) String() string {
 
 // Request is one block-layer write request: a batch of pages bound for the
 // device. Done fires with nil or an error when the device completes it.
+//
+// Ownership: Submit transfers one reference per pooled page payload to the
+// scheduler, which releases each once the device has consumed the request
+// (the NAND layer retains what it stores). Callers never free request
+// payloads themselves.
 type Request struct {
 	Pages []ssd.PageWrite
 	Sync  bool
@@ -62,6 +68,36 @@ type Scheduler struct {
 	stats   SchedStats
 	nextSeq uint64
 	trace   *vtrace.Tracer
+
+	// live tracks requests whose page payloads the scheduler still owns:
+	// staged in a queue, or picked but not yet consumed by the device. The
+	// window is small (bounded by writeback queue depth), so the linear
+	// removal below stays cheap.
+	live []*Request
+}
+
+// releasePages drops the scheduler's ownership of req's page payloads.
+func (s *Scheduler) releasePages(req *Request) {
+	for i := range req.Pages {
+		req.Pages[i].Data.Release()
+		req.Pages[i].Data = bufpool.Ref{}
+	}
+	for i, r := range s.live {
+		if r == req {
+			s.live = append(s.live[:i], s.live[i+1:]...)
+			break
+		}
+	}
+}
+
+// DropPending releases the page payloads of every request the scheduler
+// still owns — staged or frozen mid-dispatch by a simulated power cut.
+// Teardown only.
+func (s *Scheduler) DropPending() {
+	for len(s.live) > 0 {
+		s.releasePages(s.live[0])
+	}
+	s.syncQ, s.asyncQ = nil, nil
 }
 
 // SetTracer installs a tracer recording one sched/dispatch span per request
@@ -80,6 +116,7 @@ func NewScheduler(eng *sim.Engine, dev *ssd.Device, mode SchedMode, costs Costs)
 func (s *Scheduler) Submit(pages []ssd.PageWrite, sync bool) *Request {
 	req := &Request{Pages: pages, Sync: sync, Done: sim.NewSignal(s.eng), submitted: s.eng.Now(), seq: s.nextSeq, span: s.trace.Scope()}
 	s.nextSeq++
+	s.live = append(s.live, req)
 	if sync {
 		s.syncQ = append(s.syncQ, req)
 	} else {
@@ -156,6 +193,9 @@ func (s *Scheduler) run(env *sim.Env) {
 		tr.SetScope(span)
 		done, err := s.dev.WriteScattered(env.Now(), req.Pages)
 		tr.SetScope(prev)
+		// The device has consumed the payloads (state mutation is
+		// synchronous; only completion timing is deferred).
+		s.releasePages(req)
 		if err != nil {
 			tr.End(span, env.Now())
 			req.Done.Fire(err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/sim"
 )
 
@@ -30,7 +31,7 @@ func page(s string, size int) []byte {
 
 func TestHookReadFaultPropagates(t *testing.T) {
 	a := testArray(t)
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), page("ok", a.geo.PageSize)); err != nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed(page("ok", a.geo.PageSize))); err != nil {
 		t.Fatal(err)
 	}
 	h := &scriptHook{readErr: &DeviceError{Status: StatusUnrecoveredRead, Transient: true, Op: "read"}}
@@ -60,7 +61,7 @@ func TestHookProgramFailAndTorn(t *testing.T) {
 	a := testArray(t)
 	h := &scriptHook{programDec: ProgramDecision{Outcome: ProgramFail}}
 	a.SetFaultHook(h)
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), page("lost", a.geo.PageSize)); !IsProgramFail(err) {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed(page("lost", a.geo.PageSize))); !IsProgramFail(err) {
 		t.Fatalf("program err = %v, want write-fault", err)
 	}
 	if a.NextProgramPage(0, 0) != 1 {
@@ -68,7 +69,7 @@ func TestHookProgramFailAndTorn(t *testing.T) {
 	}
 	torn := bytes.Repeat([]byte{0xA5}, a.geo.PageSize)
 	h.programDec = ProgramDecision{Outcome: ProgramTorn, Torn: torn}
-	if _, err := a.Program(0, a.PPAOf(0, 0, 1), page("torn", a.geo.PageSize)); !IsTornWrite(err) {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 1), bufpool.Borrowed(page("torn", a.geo.PageSize))); !IsTornWrite(err) {
 		t.Fatalf("program err = %v, want interrupted-write", err)
 	}
 	a.SetFaultHook(nil)
@@ -90,7 +91,7 @@ func TestHookProgramFailAndTorn(t *testing.T) {
 func TestHookEraseFaultKeepsContents(t *testing.T) {
 	a := testArray(t)
 	want := page("keep", a.geo.PageSize)
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), want); err != nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed(want)); err != nil {
 		t.Fatal(err)
 	}
 	a.SetFaultHook(&scriptHook{eraseErr: &DeviceError{Status: StatusEraseFault, Op: "erase"}})

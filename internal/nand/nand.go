@@ -17,9 +17,18 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/vtrace"
 )
+
+// quarantineSlack pads the read horizon when an erased page's segment is
+// released back to the buffer pool. Read results are handed to consumers as
+// aliases at the read's completion time; every consumer in this repository
+// copies the bytes out within the same-timestamp event cascade plus
+// sub-microsecond ring/handler work (≤ ~300 ns), so a microsecond-scale pad
+// is far more than enough.
+const quarantineSlack = 10 * sim.Microsecond
 
 // Status is an NVMe-style command status code, surfaced alongside Go errors
 // so the layers above can classify failures the way a real driver would.
@@ -246,7 +255,12 @@ type Array struct {
 	chans  []sim.Timeline
 	blocks []blockState // indexed by die*BlocksPerDie + block
 	data   [][]byte     // indexed by PPA; nil = unwritten since last erase
-	arena  pageArena
+	// segs holds, per PPA, the pooled segment backing data[ppa] (nil for
+	// torn images, which are plain Go memory dropped to the GC on erase).
+	// Each stored page holds one reference, released on erase through the
+	// pool's virtual-time quarantine.
+	segs []*bufpool.Segment
+	pool *bufpool.Pool
 	// readHorizon is the latest completion time over all reads so far: no
 	// outstanding read alias can be consumed after it (plus handler slack).
 	// It gates recycling of erased pages' buffers; see pageArena.
@@ -268,10 +282,31 @@ type Clock interface {
 }
 
 // SetClock attaches the simulation clock, enabling recycling of erased
-// pages' buffers through the page arena. Without a clock the arena still
-// batches allocations in chunks but never reuses a freed buffer (always
-// safe, just less economical).
-func (a *Array) SetClock(c Clock) { a.clock = c }
+// pages' segments through the buffer pool. Without a clock the pool still
+// batches allocations in chunks but never reuses a quarantined segment
+// (always safe, just less economical).
+func (a *Array) SetClock(c Clock) {
+	a.clock = c
+	a.pool.SetClock(c)
+}
+
+// SetPool replaces the array's buffer pool with a shared one, so host-side
+// layers (wal encoding, kernelio page cache) and the array recycle the same
+// segments. Must be called before the first program; the current clock is
+// carried over.
+func (a *Array) SetPool(p *bufpool.Pool) {
+	if p.SegSize() != a.geo.PageSize {
+		panic(fmt.Sprintf("nand: pool segment size %d != page size %d", p.SegSize(), a.geo.PageSize))
+	}
+	a.pool = p
+	if a.clock != nil {
+		p.SetClock(a.clock)
+	}
+}
+
+// Pool returns the array's buffer pool: the single pool every layer of a
+// stack draws payload segments from.
+func (a *Array) Pool() *bufpool.Pool { return a.pool }
 
 // SetFaultHook installs (or, with nil, removes) the fault injector consulted
 // on every read, program, and erase.
@@ -295,7 +330,8 @@ func New(geo Geometry, lat Latencies) (*Array, error) {
 		chans:  make([]sim.Timeline, geo.Channels),
 		blocks: make([]blockState, geo.Blocks()),
 		data:   make([][]byte, geo.Pages()),
-		arena:  pageArena{pageSize: geo.PageSize},
+		segs:   make([]*bufpool.Segment, geo.Pages()),
+		pool:   bufpool.New(geo.PageSize),
 	}, nil
 }
 
@@ -399,12 +435,19 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 // at which the program completes. It enforces the two NAND rules the FTL
 // must respect: pages within a block are programmed strictly in order, and
 // a page cannot be reprogrammed without an intervening block erase.
-func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err error) {
+//
+// Ownership: when data.Seg is non-nil the array stores the bytes by alias
+// and retains one reference on the segment (released, quarantined, when the
+// block erases). The producer must treat data.B as immutable for as long as
+// any reference exists — the wal chain's append-only discipline. A borrowed
+// ref (data.Seg == nil) is copied into a pool segment, so one-shot callers
+// (metadata records, preconditioning) need no pool plumbing.
+func (a *Array) Program(now sim.Time, ppa PPA, data bufpool.Ref) (done sim.Time, err error) {
 	if err := a.checkPPA(ppa); err != nil {
 		return now, err
 	}
-	if len(data) > a.geo.PageSize {
-		return now, fmt.Errorf("nand: program of %d bytes exceeds page size %d", len(data), a.geo.PageSize)
+	if len(data.B) > a.geo.PageSize {
+		return now, fmt.Errorf("nand: program of %d bytes exceeds page size %d", len(data.B), a.geo.PageSize)
 	}
 	die := a.DieOf(ppa)
 	blockGlobal := a.BlockOf(ppa)
@@ -423,7 +466,7 @@ func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err 
 		a.trace.Emit("nand", "program", a.trace.Scope(), now, done, int64(xferStart.Sub(now)))
 	}
 	if a.hook != nil {
-		switch dec := a.hook.ProgramFault(now, done, ppa, data); dec.Outcome {
+		switch dec := a.hook.ProgramFault(now, done, ppa, data.B); dec.Outcome {
 		case ProgramFail:
 			// The page is consumed (a failed program cannot be retried in
 			// place) but holds nothing readable.
@@ -432,24 +475,52 @@ func (a *Array) Program(now sim.Time, ppa PPA, data []byte) (done sim.Time, err 
 			return done, &DeviceError{Status: StatusWriteFault, Op: "program", PPA: ppa}
 		case ProgramTorn:
 			a.data[ppa] = dec.Torn
+			a.segs[ppa] = nil
 			a.stats.TornPrograms++
 			a.trace.Instant("fault", "program.torn", now, int64(ppa))
 			return done, &DeviceError{Status: StatusInterruptedWrite, Op: "program", PPA: ppa}
 		}
 	}
-	// Copy so later caller mutation cannot corrupt "flash" contents. The
-	// buffer comes from the page arena, which recycles erased pages'
-	// buffers instead of allocating per program. The reclaim gate is the
-	// engine clock, not `now`: see Array.clock.
-	var stored []byte
-	if a.clock != nil {
-		stored = a.arena.get(a.clock.Now(), len(data))
-	} else {
-		stored = a.arena.getFresh(len(data))
+	if data.Seg != nil {
+		// Zero-copy store: alias the producer's pooled bytes and hold a
+		// reference until the block erases.
+		data.Seg.Retain()
+		a.segs[ppa] = data.Seg
+		a.data[ppa] = data.B
+		return done, nil
 	}
-	copy(stored, data)
+	// Borrowed bytes: copy into a pool segment so later caller mutation
+	// cannot corrupt "flash" contents. The pool recycles erased pages'
+	// segments instead of allocating per program; the reclaim gate is the
+	// engine clock, not `now` (see Array.clock).
+	s := a.pool.Get()
+	stored := s.Bytes()[:len(data.B)]
+	copy(stored, data.B)
+	a.segs[ppa] = s
 	a.data[ppa] = stored
 	return done, nil
+}
+
+// StoredRef returns a pooled view of the page stored at ppa (Seg nil for
+// torn images). GC and retirement migration use it to re-program live data
+// onto fresh media without copying: Program retains the segment again for
+// the destination page, and the source block's erase releases its share.
+func (a *Array) StoredRef(ppa PPA) bufpool.Ref {
+	return bufpool.Ref{Seg: a.segs[ppa], B: a.data[ppa]}
+}
+
+// ReleaseStored drops every stored page's pool reference immediately (no
+// quarantine). Experiment teardown calls it — after the engine has stopped
+// and all results are extracted — so the pool's in-flight count can be
+// asserted zero; the array is no longer readable afterwards.
+func (a *Array) ReleaseStored() {
+	for i, s := range a.segs {
+		if s != nil {
+			s.Release()
+			a.segs[i] = nil
+		}
+		a.data[i] = nil
+	}
 }
 
 // Erase wipes a block, making all its pages programmable again, and returns
@@ -479,12 +550,14 @@ func (a *Array) Erase(now sim.Time, die, block int) (done sim.Time, err error) {
 	base := a.PPAOf(die, block, 0)
 	reusable := a.readHorizon.Add(quarantineSlack)
 	for p := 0; p < a.geo.PagesPerBlock; p++ {
-		if d := a.data[base+PPA(p)]; d != nil {
-			if a.clock != nil {
-				a.arena.put(d, reusable)
-			}
-			a.data[base+PPA(p)] = nil
+		ppa := base + PPA(p)
+		if s := a.segs[ppa]; s != nil {
+			// The stored alias may still back an in-flight read until the
+			// read horizon passes; the pool quarantines until then.
+			s.ReleaseAt(reusable)
+			a.segs[ppa] = nil
 		}
+		a.data[ppa] = nil // torn images drop to the garbage collector
 	}
 	var eraseStart sim.Time
 	eraseStart, done = a.dies[die].Reserve(now, a.lat.BlockErase)

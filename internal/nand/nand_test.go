@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/sim"
 )
 
@@ -88,7 +89,7 @@ func TestProgramReadRoundTrip(t *testing.T) {
 	a := testArray(t)
 	payload := []byte("hello nand")
 	ppa := a.PPAOf(1, 2, 0)
-	if _, err := a.Program(0, ppa, payload); err != nil {
+	if _, err := a.Program(0, ppa, bufpool.Borrowed(payload)); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := a.Read(0, ppa)
@@ -109,17 +110,17 @@ func TestProgramReadRoundTrip(t *testing.T) {
 func TestSequentialProgramRule(t *testing.T) {
 	a := testArray(t)
 	// Page 1 before page 0 must fail.
-	if _, err := a.Program(0, a.PPAOf(0, 0, 1), []byte("x")); err == nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 1), bufpool.Borrowed([]byte("x"))); err == nil {
 		t.Fatal("out-of-order program succeeded")
 	}
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), []byte("x")); err != nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("x"))); err != nil {
 		t.Fatal(err)
 	}
 	// Reprogramming page 0 must fail.
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), []byte("y")); err == nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("y"))); err == nil {
 		t.Fatal("reprogram without erase succeeded")
 	}
-	if _, err := a.Program(0, a.PPAOf(0, 0, 1), []byte("x")); err != nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 1), bufpool.Borrowed([]byte("x"))); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +129,7 @@ func TestEraseResetsBlock(t *testing.T) {
 	a := testArray(t)
 	g := a.Geometry()
 	for p := 0; p < g.PagesPerBlock; p++ {
-		if _, err := a.Program(0, a.PPAOf(0, 0, p), []byte{byte(p)}); err != nil {
+		if _, err := a.Program(0, a.PPAOf(0, 0, p), bufpool.Borrowed([]byte{byte(p)})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,7 +150,7 @@ func TestEraseResetsBlock(t *testing.T) {
 		t.Fatal("read of erased page succeeded")
 	}
 	// Block programmable again from page 0.
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), []byte("new")); err != nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("new"))); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -163,7 +164,7 @@ func TestReadUnwrittenFails(t *testing.T) {
 
 func TestBoundsChecks(t *testing.T) {
 	a := testArray(t)
-	if _, err := a.Program(0, InvalidPPA, nil); err == nil {
+	if _, err := a.Program(0, InvalidPPA, bufpool.Ref{}); err == nil {
 		t.Fatal("program at InvalidPPA succeeded")
 	}
 	if _, _, err := a.Read(0, PPA(a.Geometry().Pages())); err == nil {
@@ -173,7 +174,7 @@ func TestBoundsChecks(t *testing.T) {
 		t.Fatal("erase of bad die succeeded")
 	}
 	big := make([]byte, a.Geometry().PageSize+1)
-	if _, err := a.Program(0, a.PPAOf(0, 0, 0), big); err == nil {
+	if _, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed(big)); err == nil {
 		t.Fatal("oversized program succeeded")
 	}
 }
@@ -182,11 +183,11 @@ func TestTimingSerializesPerDie(t *testing.T) {
 	a := testArray(t)
 	lat := a.Latencies()
 	// Two programs to the same die: second completes one program later.
-	done1, err := a.Program(0, a.PPAOf(0, 0, 0), []byte("a"))
+	done1, err := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("a")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	done2, err := a.Program(0, a.PPAOf(0, 0, 1), []byte("b"))
+	done2, err := a.Program(0, a.PPAOf(0, 0, 1), bufpool.Borrowed([]byte("b")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestTimingSerializesPerDie(t *testing.T) {
 	}
 	// Programs to dies on different channels overlap fully.
 	otherDie := a.Geometry().DiesPerChannel // first die of channel 1
-	done3, err := a.Program(0, a.PPAOf(otherDie, 0, 0), []byte("c"))
+	done3, err := a.Program(0, a.PPAOf(otherDie, 0, 0), bufpool.Borrowed([]byte("c")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,8 +209,8 @@ func TestChannelContention(t *testing.T) {
 	a := testArray(t)
 	// Dies 0 and 1 share channel 0: their transfers serialize even though
 	// the NAND cells operate in parallel.
-	d0, _ := a.Program(0, a.PPAOf(0, 0, 0), []byte("a"))
-	d1, _ := a.Program(0, a.PPAOf(1, 0, 0), []byte("b"))
+	d0, _ := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("a")))
+	d1, _ := a.Program(0, a.PPAOf(1, 0, 0), bufpool.Borrowed([]byte("b")))
 	if d1 <= d0 {
 		t.Skipf("channel xfer too small to observe: %v vs %v", d0, d1)
 	}
@@ -231,7 +232,7 @@ func TestEraseLatency(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	a := testArray(t)
-	_, _ = a.Program(0, a.PPAOf(0, 0, 0), []byte("a"))
+	_, _ = a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("a")))
 	_, _, _ = a.Read(0, a.PPAOf(0, 0, 0))
 	_, _ = a.Erase(0, 0, 0)
 	s := a.Stats()
@@ -270,7 +271,7 @@ func TestDataIntegrityProperty(t *testing.T) {
 				continue // full; skip
 			}
 			data := []byte(fmt.Sprintf("%d/%d/%d/%d", seed, die, block, op))
-			if _, err := a.Program(now, a.PPAOf(die, block, page), data); err != nil {
+			if _, err := a.Program(now, a.PPAOf(die, block, page), bufpool.Borrowed(data)); err != nil {
 				return false
 			}
 			expect[key{die, block, page}] = data
@@ -294,7 +295,7 @@ func TestMaxBusyUntil(t *testing.T) {
 	if a.MaxBusyUntil() != 0 {
 		t.Fatal("idle array must have zero horizon")
 	}
-	done, _ := a.Program(0, a.PPAOf(0, 0, 0), []byte("x"))
+	done, _ := a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("x")))
 	if a.MaxBusyUntil() != done {
 		t.Fatalf("horizon = %v, want %v", a.MaxBusyUntil(), done)
 	}
@@ -302,7 +303,7 @@ func TestMaxBusyUntil(t *testing.T) {
 
 func TestDieBusyTotal(t *testing.T) {
 	a := testArray(t)
-	_, _ = a.Program(0, a.PPAOf(0, 0, 0), []byte("x"))
+	_, _ = a.Program(0, a.PPAOf(0, 0, 0), bufpool.Borrowed([]byte("x")))
 	if a.DieBusyTotal(0) != a.Latencies().PageWrite {
 		t.Fatalf("die busy = %v", a.DieBusyTotal(0))
 	}

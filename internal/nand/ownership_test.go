@@ -1,0 +1,105 @@
+package nand
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/bufpool"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// Fault-path ownership: a torn program (power cut mid-page) stores the
+// hook's partial image, NOT an alias of the caller's pooled segment — the
+// array must not retain a reference it would never release (the torn slot
+// holds plain bytes, so the erase path has nothing to release there).
+func TestTornProgramOwnership(t *testing.T) {
+	a := testArray(t)
+	pool := a.Pool()
+	s := pool.Get()
+	copy(s.Bytes(), page("payload", a.geo.PageSize))
+	a.SetFaultHook(&scriptHook{programDec: ProgramDecision{
+		Outcome: ProgramTorn, Torn: page("torn", a.geo.PageSize/2),
+	}})
+	ppa := a.PPAOf(0, 0, 0)
+	if _, err := a.Program(0, ppa, bufpool.Ref{Seg: s, B: s.Bytes()}); !IsTornWrite(err) {
+		t.Fatalf("err = %v, want interrupted-write status", err)
+	}
+	if ref := a.StoredRef(ppa); ref.Seg != nil {
+		t.Fatal("torn slot aliases the caller's pooled segment")
+	}
+	if got := s.Refs(); got != 1 {
+		t.Fatalf("caller's refcount = %d after torn program, want 1 (array must not retain)", got)
+	}
+	s.Release()
+	a.SetFaultHook(nil)
+	a.ReleaseStored()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments in flight after teardown", n)
+	}
+}
+
+// A permanently failed program consumes the page slot but stores nothing:
+// ownership of the payload stays with the caller, and teardown must not
+// find a stale reference parked on the dead slot.
+func TestProgramFailOwnership(t *testing.T) {
+	a := testArray(t)
+	pool := a.Pool()
+	s := pool.Get()
+	copy(s.Bytes(), page("payload", a.geo.PageSize))
+	a.SetFaultHook(&scriptHook{programDec: ProgramDecision{Outcome: ProgramFail}})
+	ppa := a.PPAOf(0, 0, 0)
+	if _, err := a.Program(0, ppa, bufpool.Ref{Seg: s, B: s.Bytes()}); !IsProgramFail(err) {
+		t.Fatalf("err = %v, want write-fault status", err)
+	}
+	if ref := a.StoredRef(ppa); ref.Seg != nil || ref.B != nil {
+		t.Fatal("failed program stored something")
+	}
+	if got := s.Refs(); got != 1 {
+		t.Fatalf("caller's refcount = %d after failed program, want 1", got)
+	}
+	s.Release()
+	a.SetFaultHook(nil)
+	a.ReleaseStored()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments in flight after teardown", n)
+	}
+}
+
+// Erase releases each stored page's reference exactly once (into the read
+// quarantine), and a subsequent ReleaseStored must treat the erased slots
+// as empty — a second release of the same segment panics in bufpool, so
+// this test passing IS the no-double-release proof.
+func TestEraseReleasesStoredExactlyOnce(t *testing.T) {
+	a := testArray(t)
+	pool := a.Pool()
+	ppb := a.geo.PagesPerBlock
+	segs := make([]*bufpool.Segment, ppb)
+	now := sim.Time(0)
+	for p := 0; p < ppb; p++ {
+		s := pool.Get()
+		copy(s.Bytes(), page("z", a.geo.PageSize))
+		segs[p] = s
+		done, err := a.Program(now, a.PPAOf(0, 0, p), bufpool.Ref{Seg: s, B: s.Bytes()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if got := segs[0].Refs(); got != 2 {
+		t.Fatalf("refs = %d after zero-copy program, want 2 (caller + array)", got)
+	}
+	if _, err := a.Erase(now, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range segs {
+		if got := s.Refs(); got != 1 {
+			t.Fatalf("page %d: refs = %d after erase, want 1 (array's share released)", p, got)
+		}
+	}
+	a.ReleaseStored() // must skip the erased block's already-released slots
+	for _, s := range segs {
+		s.Release()
+	}
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments in flight after teardown", n)
+	}
+}

@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/slimio/slimio/internal/bufpool"
+	"github.com/slimio/slimio/internal/nand"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// failNProgramsHook fails the next n page programs permanently, then heals.
+type failNProgramsHook struct{ n int }
+
+func (h *failNProgramsHook) ReadFault(now sim.Time, ppa nand.PPA) error { return nil }
+func (h *failNProgramsHook) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.ProgramDecision {
+	if h.n > 0 {
+		h.n--
+		return nand.ProgramDecision{Outcome: nand.ProgramFail}
+	}
+	return nand.ProgramDecision{}
+}
+func (h *failNProgramsHook) EraseFault(now sim.Time, die, block int) error { return nil }
+
+// Fault-path ownership across the NVMe retry machinery: a permanent program
+// failure makes the FTL retire the block and re-program the SAME pooled ref
+// onto fresh media. The failed attempt must not retain (nothing stores), the
+// successful attempt retains exactly once, and after the host drops its
+// share the pool drains to zero at teardown — no leak, no double release.
+func TestProgramRetryPooledOwnership(t *testing.T) {
+	arr, dev := newRetryDevice(t)
+	pool := arr.Pool()
+	arr.SetFaultHook(&failNProgramsHook{n: 2})
+	var hostRefs []bufpool.Ref
+	payload := make([]bufpool.Ref, 4)
+	for i := range payload {
+		s := pool.Get()
+		copy(s.Bytes(), pages(1, dev.PageSize(), byte('A'+i))[0])
+		payload[i] = bufpool.Ref{Seg: s, B: s.Bytes()}
+		hostRefs = append(hostRefs, payload[i])
+	}
+	wdone, err := dev.WritePages(0, 0, payload, 0)
+	if err != nil {
+		t.Fatalf("write across program failures: %v", err)
+	}
+	if got := dev.Stats().ProgramFailures; got != 2 {
+		t.Fatalf("ProgramFailures = %d, want 2 (both absorbed by remapping)", got)
+	}
+	// Each page is stored exactly once: host share + array share = 2, even
+	// for the pages whose first program attempt failed.
+	for i, r := range hostRefs {
+		if got := r.Seg.Refs(); got != 2 {
+			t.Fatalf("page %d: refs = %d after retried write, want 2", i, got)
+		}
+	}
+	data, _, err := dev.ReadPages(wdone, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if !bytes.Equal(data[i], hostRefs[i].B) {
+			t.Fatalf("page %d corrupted by the retry path", i)
+		}
+	}
+	// Host hands off: durable completion releases the submission references.
+	for _, r := range hostRefs {
+		r.Release()
+	}
+	arr.ReleaseStored()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments in flight after teardown", n)
+	}
+}
+
+// A torn write (power loss) must leave ownership with the host: the torn
+// slot stores a partial image in plain memory, never an alias of the pooled
+// payload, so recovery can release the pool without consulting the device.
+func TestTornWritePooledOwnership(t *testing.T) {
+	arr, dev := newRetryDevice(t)
+	pool := arr.Pool()
+	s := pool.Get()
+	copy(s.Bytes(), pages(1, dev.PageSize(), 't')[0])
+	hook := &tornOnceHook{image: pages(1, dev.PageSize()/2, 'T')[0]}
+	arr.SetFaultHook(hook)
+	_, err := dev.WritePages(0, 0, []bufpool.Ref{{Seg: s, B: s.Bytes()}}, 0)
+	if !nand.IsTornWrite(err) {
+		t.Fatalf("err = %v, want interrupted-write status", err)
+	}
+	if got := s.Refs(); got != 1 {
+		t.Fatalf("refs = %d after torn write, want 1 (device must not retain)", got)
+	}
+	s.Release()
+	arr.ReleaseStored()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments in flight after teardown", n)
+	}
+}
+
+// tornOnceHook tears the first program it sees, then heals.
+type tornOnceHook struct {
+	image []byte
+	done  bool
+}
+
+func (h *tornOnceHook) ReadFault(now sim.Time, ppa nand.PPA) error { return nil }
+func (h *tornOnceHook) ProgramFault(now, done sim.Time, ppa nand.PPA, data []byte) nand.ProgramDecision {
+	if !h.done {
+		h.done = true
+		return nand.ProgramDecision{Outcome: nand.ProgramTorn, Torn: h.image}
+	}
+	return nand.ProgramDecision{}
+}
+func (h *tornOnceHook) EraseFault(now sim.Time, die, block int) error { return nil }

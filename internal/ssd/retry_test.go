@@ -41,7 +41,7 @@ func newRetryDevice(t *testing.T) (*nand.Array, *Device) {
 func TestReadRetryBackoff(t *testing.T) {
 	arr, dev := newRetryDevice(t)
 	payload := pages(1, dev.PageSize(), 'r')
-	wdone, err := dev.WritePages(0, 3, payload, 0)
+	wdone, err := dev.WritePages(0, 3, refs(payload), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestReadRetryBackoff(t *testing.T) {
 // the device status instead of looping forever.
 func TestReadRetriesExhausted(t *testing.T) {
 	arr, dev := newRetryDevice(t)
-	if _, err := dev.WritePages(0, 0, pages(1, dev.PageSize(), 'x'), 0); err != nil {
+	if _, err := dev.WritePages(0, 0, refs(pages(1, dev.PageSize(), 'x')), 0); err != nil {
 		t.Fatal(err)
 	}
 	arr.SetFaultHook(&failNReadsHook{n: 1 << 30})
@@ -86,7 +86,7 @@ func TestTornWriteNotRetried(t *testing.T) {
 	plan := fault.NewPlan(fault.Config{Seed: 5})
 	plan.SchedulePowerCut(0) // every program completes after the cut
 	arr.SetFaultHook(plan)
-	_, err := dev.WritePages(0, 0, pages(1, dev.PageSize(), 't'), 0)
+	_, err := dev.WritePages(0, 0, refs(pages(1, dev.PageSize(), 't')), 0)
 	if !nand.IsTornWrite(err) {
 		t.Fatalf("err = %v, want interrupted-write status", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/ftl"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/nand"
@@ -23,8 +24,12 @@ import (
 // FTL is the translation-layer contract the device front-end drives. Both
 // ftl.FTL (conventional) and fdp.FTL (flexible data placement) satisfy it;
 // the conventional FTL simply ignores the placement identifier.
+//
+// Write borrows data for the duration of the call: the NAND layer retains
+// pooled segments it stores and the caller keeps its own reference, so the
+// front-end never owns payload bytes.
 type FTL interface {
-	Write(now sim.Time, lpa int64, data []byte, pid uint32) (done sim.Time, err error)
+	Write(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (done sim.Time, err error)
 	Read(now sim.Time, lpa int64) (data []byte, done sim.Time, err error)
 	Deallocate(lpa, count int64) error
 	Capacity() int64
@@ -132,7 +137,7 @@ func (d *Device) readPage(now sim.Time, lpa int64) ([]byte, sim.Time, error) {
 // program failures never reach here — the FTL absorbs them by retiring the
 // block and remapping — so terminal errors are torn writes (power loss) or
 // model errors.
-func (d *Device) writePage(now sim.Time, lpa int64, data []byte, pid uint32) (sim.Time, error) {
+func (d *Device) writePage(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (sim.Time, error) {
 	backoff := d.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		done, err := d.ftl.Write(now, lpa, data, pid)
@@ -168,8 +173,9 @@ func (d *Device) Stats() ftl.Stats { return d.ftl.BaseStats() }
 // logical pages starting at lpa, tagged with pid, and returns the command's
 // completion time. Pages fan out to the FTL back to back, so die striping
 // below provides the parallelism; the command completes when its last page
-// is durable.
-func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32) (cmdDone sim.Time, err error) {
+// is durable. Page refs are borrowed: the caller still owns its references
+// when WritePages returns (retries re-submit the same ref).
+func (d *Device) WritePages(now sim.Time, lpa int64, pages []bufpool.Ref, pid uint32) (cmdDone sim.Time, err error) {
 	if len(pages) == 0 {
 		return now, nil
 	}
@@ -185,8 +191,8 @@ func (d *Device) WritePages(now sim.Time, lpa int64, pages [][]byte, pid uint32)
 	start := now.Add(d.cfg.CommandOverhead)
 	end := start
 	for i, p := range pages {
-		if len(p) > d.PageSize() {
-			return now, fmt.Errorf("ssd: page %d is %d bytes, page size %d", i, len(p), d.PageSize())
+		if len(p.B) > d.PageSize() {
+			return now, fmt.Errorf("ssd: page %d is %d bytes, page size %d", i, len(p.B), d.PageSize())
 		}
 		done, err := d.writePage(start, lpa+int64(i), p, pid)
 		if err != nil {
@@ -237,7 +243,7 @@ func (d *Device) Deallocate(lpa, count int64) error {
 
 // Write is the blocking form of WritePages for simulation processes: the
 // calling process sleeps until the command completes.
-func (d *Device) Write(env *sim.Env, lpa int64, pages [][]byte, pid uint32) error {
+func (d *Device) Write(env *sim.Env, lpa int64, pages []bufpool.Ref, pid uint32) error {
 	done, err := d.WritePages(env.Now(), lpa, pages, pid)
 	if err != nil {
 		return err
@@ -273,10 +279,11 @@ func Precondition(dev *Device, from, to int64, frac float64, holeEvery int64, rn
 	n := int64(float64(span) * frac)
 	payload := make([]byte, dev.PageSize())
 	rng.Read(payload)
+	ref := bufpool.Borrowed(payload) // NAND copies borrowed pages into the pool
 	// Issue everything at time zero: the fill is device history, not part
 	// of the measured run; the dies drain the short backlog during warmup.
 	for i := int64(0); i < n; i++ {
-		if _, err := dev.ftl.Write(0, from+i, payload, 0); err != nil {
+		if _, err := dev.ftl.Write(0, from+i, ref, 0); err != nil {
 			return fmt.Errorf("ssd: precondition write %d: %w", i, err)
 		}
 	}
@@ -293,10 +300,11 @@ func Precondition(dev *Device, from, to int64, frac float64, holeEvery int64, rn
 
 // PageWrite names one page of a scattered write command, optionally tagged
 // with a per-page FDP placement identifier (used by the FDP-aware-filesystem
-// ablation; plain kernel-path writes leave it zero).
+// ablation; plain kernel-path writes leave it zero). Data is borrowed for
+// the duration of the command.
 type PageWrite struct {
 	LPA  int64
-	Data []byte
+	Data bufpool.Ref
 	PID  uint32
 }
 
@@ -319,8 +327,8 @@ func (d *Device) WriteScattered(now sim.Time, pages []PageWrite) (cmdDone sim.Ti
 	start := now.Add(d.cfg.CommandOverhead)
 	end := start
 	for _, p := range pages {
-		if len(p.Data) > d.PageSize() {
-			return now, fmt.Errorf("ssd: page at LPA %d is %d bytes, page size %d", p.LPA, len(p.Data), d.PageSize())
+		if len(p.Data.B) > d.PageSize() {
+			return now, fmt.Errorf("ssd: page at LPA %d is %d bytes, page size %d", p.LPA, len(p.Data.B), d.PageSize())
 		}
 		done, err := d.writePage(start, p.LPA, p.Data, p.PID)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/fdp"
 	"github.com/slimio/slimio/internal/ftl"
 	"github.com/slimio/slimio/internal/nand"
@@ -56,7 +57,7 @@ func pages(n, size int, tag byte) [][]byte {
 func TestMultiPageWriteRead(t *testing.T) {
 	for name, dev := range map[string]*Device{"conv": newConvDevice(t), "fdp": newFDPDevice(t)} {
 		in := pages(5, 128, 'a')
-		done, err := dev.WritePages(0, 10, in, 1)
+		done, err := dev.WritePages(0, 10, refs(in), 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -78,12 +79,12 @@ func TestMultiPageWriteRead(t *testing.T) {
 func TestMultiPageWriteParallelism(t *testing.T) {
 	dev := newConvDevice(t)
 	// 4 dies: a 4-page write should complete in roughly one program, not 4.
-	one, err := dev.WritePages(0, 0, pages(1, 128, 'x'), 0)
+	one, err := dev.WritePages(0, 0, refs(pages(1, 128, 'x')), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev2 := newConvDevice(t)
-	four, err := dev2.WritePages(0, 0, pages(4, 128, 'x'), 0)
+	four, err := dev2.WritePages(0, 0, refs(pages(4, 128, 'x')), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestMultiPageWriteParallelism(t *testing.T) {
 
 func TestCommandOverheadApplied(t *testing.T) {
 	dev := newConvDevice(t)
-	done, err := dev.WritePages(0, 0, pages(1, 128, 'x'), 0)
+	done, err := dev.WritePages(0, 0, refs(pages(1, 128, 'x')), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestEmptyWriteNoop(t *testing.T) {
 
 func TestOversizedPageRejected(t *testing.T) {
 	dev := newConvDevice(t)
-	if _, err := dev.WritePages(0, 0, [][]byte{make([]byte, 129)}, 0); err == nil {
+	if _, err := dev.WritePages(0, 0, refs([][]byte{make([]byte, 129)}), 0); err == nil {
 		t.Fatal("oversized page accepted")
 	}
 }
@@ -125,7 +126,7 @@ func TestBlockingHelpers(t *testing.T) {
 	eng := sim.NewEngine()
 	var wrote, read sim.Time
 	eng.Spawn("io", func(env *sim.Env) {
-		if err := dev.Write(env, 0, pages(2, 128, 'b'), 0); err != nil {
+		if err := dev.Write(env, 0, refs(pages(2, 128, 'b')), 0); err != nil {
 			t.Error(err)
 			return
 		}
@@ -155,7 +156,7 @@ func TestPreconditionCreatesGCPressure(t *testing.T) {
 	// Now hammer the lower half; GC should kick in quickly.
 	now := sim.Time(0)
 	for i := 0; i < int(dev.Capacity()); i++ {
-		done, err := dev.WritePages(now, int64(i%int(dev.Capacity()/4)), pages(1, 128, 'h'), 0)
+		done, err := dev.WritePages(now, int64(i%int(dev.Capacity()/4)), refs(pages(1, 128, 'h')), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestPreconditionValidation(t *testing.T) {
 
 func TestStatsPassThrough(t *testing.T) {
 	dev := newFDPDevice(t)
-	if _, err := dev.WritePages(0, 0, pages(3, 128, 'p'), 2); err != nil {
+	if _, err := dev.WritePages(0, 0, refs(pages(3, 128, 'p')), 2); err != nil {
 		t.Fatal(err)
 	}
 	if got := dev.Stats().HostWritePages; got != 3 {
@@ -195,7 +196,7 @@ func TestStatsPassThrough(t *testing.T) {
 
 func TestDeallocatePassThrough(t *testing.T) {
 	dev := newConvDevice(t)
-	if _, err := dev.WritePages(0, 0, pages(2, 128, 'd'), 0); err != nil {
+	if _, err := dev.WritePages(0, 0, refs(pages(2, 128, 'd')), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := dev.Deallocate(0, 2); err != nil {
@@ -204,4 +205,13 @@ func TestDeallocatePassThrough(t *testing.T) {
 	if _, _, err := dev.ReadPages(0, 0, 1); err == nil {
 		t.Fatal("read after TRIM succeeded")
 	}
+}
+
+// refs wraps raw test pages as borrowed (unpooled) buffer references.
+func refs(pp [][]byte) []bufpool.Ref {
+	out := make([]bufpool.Ref, len(pp))
+	for i, p := range pp {
+		out[i] = bufpool.Borrowed(p)
+	}
+	return out
 }

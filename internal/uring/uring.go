@@ -14,6 +14,7 @@ package uring
 import (
 	"fmt"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
@@ -33,12 +34,17 @@ const (
 )
 
 // SQE is a submission-queue entry (one passthru NVMe command).
+//
+// Ownership: Submit takes one reference per pooled page in Pages. The ring
+// releases each after the device has consumed the command (the NAND layer
+// retains what it stores), so a caller that wants to keep using a segment
+// past submission must Retain its own reference first.
 type SQE struct {
 	Op    Op
 	LPA   int64
-	Pages [][]byte // OpWrite: page payloads
-	N     int64    // OpRead / OpDeallocate: page count
-	PID   uint32   // FDP placement identifier
+	Pages []bufpool.Ref // OpWrite: page payloads
+	N     int64         // OpRead / OpDeallocate: page count
+	PID   uint32        // FDP placement identifier
 
 	// Span optionally parents this command's trace span; when zero the
 	// ring falls back to the tracer's current scope at Submit time.
@@ -118,6 +124,13 @@ type Ring struct {
 	cq    *sim.Queue[*SQE]
 	kick  *sim.Broadcast
 	stats Stats
+
+	// pending registers every accepted write command whose page references
+	// the ring still owns. Registration happens at Submit entry — before any
+	// simulated wait — so a power cut frozen anywhere in the submission or
+	// dispatch path leaves the references reachable for DropPending. The
+	// window is at most the ring depth, so linear removal stays cheap.
+	pending []*SQE
 }
 
 // NewRing creates a ring over dev. With cfg.SQPoll a kernel poller daemon is
@@ -153,6 +166,9 @@ func (r *Ring) SQDepth() int { return len(r.sq) }
 func (r *Ring) Submit(env *sim.Env, sqe *SQE) *sim.Signal {
 	sqe.done = sim.NewSignal(r.eng)
 	r.stats.Submitted++
+	if sqe.Op == OpWrite {
+		r.pending = append(r.pending, sqe)
+	}
 	if tr := r.cfg.Trace; tr.Enabled() {
 		parent := sqe.Span
 		if parent == 0 {
@@ -236,6 +252,11 @@ func (r *Ring) issue(now sim.Time, sqe *SQE) {
 	switch sqe.Op {
 	case OpWrite:
 		done, err := r.dev.WritePages(now, sqe.LPA, sqe.Pages, sqe.PID)
+		// WritePages has fully consumed the payload (device state mutation,
+		// including retries, is synchronous; only timing is deferred), so the
+		// ring's references are dropped here — release-on-durable is enforced
+		// below this layer by the NAND quarantine on the stored segments.
+		r.releasePages(sqe)
 		r.complete(done, sqe, &CQE{Err: err, Status: nand.StatusOf(err)})
 	case OpRead:
 		data, done, err := r.dev.ReadPages(now, sqe.LPA, sqe.N)
@@ -255,6 +276,33 @@ func (r *Ring) complete(t sim.Time, sqe *SQE, cqe *CQE) {
 	r.eng.At(t, func() { r.cq.Push(sqe) })
 }
 
+// releasePages drops the ring's references on a consumed write command and
+// unregisters it from the pending set.
+func (r *Ring) releasePages(sqe *SQE) {
+	for i := range sqe.Pages {
+		sqe.Pages[i].Release()
+		sqe.Pages[i] = bufpool.Ref{}
+	}
+	for i, p := range r.pending {
+		if p == sqe {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// DropPending releases payload references of every write command the ring
+// still owns — queued in the submission queue or frozen mid-dispatch. Only
+// teardown after a simulated power cut calls this: the SQPOLL poller froze
+// with the engine, so these commands will never issue and their (lost)
+// payloads must be returned to the pool for leak accounting.
+func (r *Ring) DropPending() {
+	for len(r.pending) > 0 {
+		r.releasePages(r.pending[0])
+	}
+	r.sq = nil
+}
+
 // cqHandler drains the completion queue and fires each command's signal.
 func (r *Ring) cqHandler(env *sim.Env) {
 	for {
@@ -270,15 +318,17 @@ func (r *Ring) cqHandler(env *sim.Env) {
 
 // Convenience wrappers for the common commands.
 
-// Write submits a multi-page write and blocks until durable.
-func (r *Ring) Write(env *sim.Env, lpa int64, pages [][]byte, pid uint32) error {
+// Write submits a multi-page write and blocks until durable. It takes one
+// reference per pooled page (see SQE).
+func (r *Ring) Write(env *sim.Env, lpa int64, pages []bufpool.Ref, pid uint32) error {
 	cqe := r.SubmitAndWait(env, &SQE{Op: OpWrite, LPA: lpa, Pages: pages, PID: pid})
 	return cqe.Err
 }
 
 // WriteAsync submits a multi-page write and returns immediately with the
-// completion signal (fired with *CQE).
-func (r *Ring) WriteAsync(env *sim.Env, lpa int64, pages [][]byte, pid uint32) *sim.Signal {
+// completion signal (fired with *CQE). It takes one reference per pooled
+// page (see SQE).
+func (r *Ring) WriteAsync(env *sim.Env, lpa int64, pages []bufpool.Ref, pid uint32) *sim.Signal {
 	return r.Submit(env, &SQE{Op: OpWrite, LPA: lpa, Pages: pages, PID: pid})
 }
 

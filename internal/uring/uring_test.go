@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/fdp"
 	"github.com/slimio/slimio/internal/ftl"
 	"github.com/slimio/slimio/internal/nand"
@@ -47,7 +48,7 @@ func TestWriteReadRoundTripBothModes(t *testing.T) {
 		ring := NewRing(eng, dev, "t", Config{SQPoll: sqpoll})
 		in := pages(3, 'a')
 		eng.Spawn("app", func(env *sim.Env) {
-			if err := ring.Write(env, 10, in, 1); err != nil {
+			if err := ring.Write(env, 10, refs(in), 1); err != nil {
 				t.Errorf("sqpoll=%v: %v", sqpoll, err)
 				return
 			}
@@ -72,7 +73,7 @@ func TestSQPollEliminatesSyscalls(t *testing.T) {
 	ring := NewRing(eng, dev, "t", Config{SQPoll: true})
 	eng.Spawn("app", func(env *sim.Env) {
 		for i := 0; i < 10; i++ {
-			if err := ring.Write(env, int64(i), pages(1, 'x'), 1); err != nil {
+			if err := ring.Write(env, int64(i), refs(pages(1, 'x')), 1); err != nil {
 				t.Error(err)
 				return
 			}
@@ -97,7 +98,7 @@ func TestNonSQPollCountsSyscalls(t *testing.T) {
 	ring := NewRing(eng, dev, "t", Config{SQPoll: false})
 	eng.Spawn("app", func(env *sim.Env) {
 		for i := 0; i < 7; i++ {
-			if err := ring.Write(env, int64(i), pages(1, 'x'), 1); err != nil {
+			if err := ring.Write(env, int64(i), refs(pages(1, 'x')), 1); err != nil {
 				t.Error(err)
 				return
 			}
@@ -120,7 +121,7 @@ func TestAsyncSubmissionOverlapsDeviceTime(t *testing.T) {
 		t0 := env.Now()
 		var sigs []*sim.Signal
 		for i := 0; i < 8; i++ {
-			sigs = append(sigs, ring.WriteAsync(env, int64(i), pages(1, 'p'), 1))
+			sigs = append(sigs, ring.WriteAsync(env, int64(i), refs(pages(1, 'p')), 1))
 		}
 		for _, s := range sigs {
 			if cqe := s.Wait(env).(*CQE); cqe.Err != nil {
@@ -138,7 +139,7 @@ func TestAsyncSubmissionOverlapsDeviceTime(t *testing.T) {
 	eng2.Spawn("app", func(env *sim.Env) {
 		t0 := env.Now()
 		for i := 0; i < 8; i++ {
-			if err := ring2.Write(env, int64(i), pages(1, 'p'), 1); err != nil {
+			if err := ring2.Write(env, int64(i), refs(pages(1, 'p')), 1); err != nil {
 				t.Error(err)
 			}
 		}
@@ -155,7 +156,7 @@ func TestPIDReachesFDPDevice(t *testing.T) {
 	eng := sim.NewEngine()
 	ring := NewRing(eng, dev, "t", Config{SQPoll: true})
 	eng.Spawn("app", func(env *sim.Env) {
-		if err := ring.Write(env, 0, pages(2, 'w'), 3); err != nil {
+		if err := ring.Write(env, 0, refs(pages(2, 'w')), 3); err != nil {
 			t.Error(err)
 		}
 	})
@@ -171,7 +172,7 @@ func TestDeallocateCommand(t *testing.T) {
 	eng := sim.NewEngine()
 	ring := NewRing(eng, dev, "t", Config{SQPoll: true})
 	eng.Spawn("app", func(env *sim.Env) {
-		if err := ring.Write(env, 0, pages(4, 'd'), 1); err != nil {
+		if err := ring.Write(env, 0, refs(pages(4, 'd')), 1); err != nil {
 			t.Error(err)
 			return
 		}
@@ -194,7 +195,7 @@ func TestErrorsSurfaceInCQE(t *testing.T) {
 		if _, err := ring.Read(env, 0, 1); err == nil {
 			t.Error("read of unmapped LPA returned no error")
 		}
-		if err := ring.Write(env, dev.Capacity()+5, pages(1, 'x'), 0); err == nil {
+		if err := ring.Write(env, dev.Capacity()+5, refs(pages(1, 'x')), 0); err == nil {
 			t.Error("out-of-range write returned no error")
 		}
 	})
@@ -225,14 +226,14 @@ func TestTwoRingsAreIndependent(t *testing.T) {
 	var walErr, snapErr error
 	eng.Spawn("wal", func(env *sim.Env) {
 		for i := 0; i < 20; i++ {
-			if walErr = walRing.Write(env, int64(i), pages(1, 'w'), 1); walErr != nil {
+			if walErr = walRing.Write(env, int64(i), refs(pages(1, 'w')), 1); walErr != nil {
 				return
 			}
 		}
 	})
 	eng.Spawn("snap", func(env *sim.Env) {
 		for i := 0; i < 20; i++ {
-			if snapErr = snapRing.Write(env, int64(100+i), pages(4, 's'), 2); snapErr != nil {
+			if snapErr = snapRing.Write(env, int64(100+i), refs(pages(4, 's')), 2); snapErr != nil {
 				return
 			}
 		}
@@ -257,7 +258,7 @@ func TestSubmissionLatencyCheaperThanSyscallMode(t *testing.T) {
 		p = eng.Spawn("app", func(env *sim.Env) {
 			var sigs []*sim.Signal
 			for i := 0; i < 50; i++ {
-				sigs = append(sigs, ring.WriteAsync(env, int64(i), pages(1, 'c'), 1))
+				sigs = append(sigs, ring.WriteAsync(env, int64(i), refs(pages(1, 'c')), 1))
 			}
 			for _, s := range sigs {
 				s.Wait(env)
@@ -269,4 +270,13 @@ func TestSubmissionLatencyCheaperThanSyscallMode(t *testing.T) {
 	if poll, sys := cost(true), cost(false); poll*2 >= sys {
 		t.Fatalf("SQPOLL submission cost %v not well below syscall mode %v", poll, sys)
 	}
+}
+
+// refs wraps raw test pages as borrowed (unpooled) buffer references.
+func refs(pp [][]byte) []bufpool.Ref {
+	out := make([]bufpool.Ref, len(pp))
+	for i, p := range pp {
+		out[i] = bufpool.Borrowed(p)
+	}
+	return out
 }

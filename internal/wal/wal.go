@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"github.com/slimio/slimio/internal/bufpool"
 )
 
 // Op is the logged operation type.
@@ -123,36 +125,165 @@ func DecodeAll(buf []byte) (recs []Record, truncated bool) {
 	return recs, corrupt
 }
 
+// Chain is a drained run of WAL bytes held in pooled, page-sized segments —
+// the iovec-style hand-off from the engine's write buffer to a backend.
+//
+// Ownership contract (the zero-copy data plane's load-bearing rules):
+//
+//   - The receiver of a Chain owns exactly one reference per segment in Segs
+//     and must Release (or transfer) each exactly once. Chain.Release drops
+//     them all; a backend that forwards whole segments to the device instead
+//     hands each reference down the submission path.
+//   - Only [Off, End) of the chain is the receiver's data: Off is the start
+//     offset in Segs[0], End the used length of the last segment. Bytes
+//     below Off were drained earlier (and may already sit on the device);
+//     bytes past End in the last segment still belong to the producer.
+//   - Drained bytes are immutable. The producing Buffer keeps filling the
+//     shared tail segment strictly past End and never rewrites a byte below
+//     it, so a receiver (or the device) may hold segment references for as
+//     long as it likes — recycling is gated by the pool's reference counts
+//     and the NAND quarantine, never by the producer's write position.
+type Chain struct {
+	Segs []*bufpool.Segment
+	Off  int // byte offset in Segs[0] where the run starts
+	End  int // bytes used in the last segment
+}
+
+// Empty reports whether the chain carries no segments.
+func (c Chain) Empty() bool { return len(c.Segs) == 0 }
+
+// Len is the number of payload bytes in the chain.
+func (c Chain) Len() int {
+	n := 0
+	for i := range c.Segs {
+		n += len(c.Span(i))
+	}
+	return n
+}
+
+// Span returns the payload byte range of segment i (respecting Off on the
+// first segment and End on the last).
+func (c Chain) Span(i int) []byte {
+	b := c.Segs[i].Bytes()
+	lo, hi := 0, len(b)
+	if i == 0 {
+		lo = c.Off
+	}
+	if i == len(c.Segs)-1 {
+		hi = c.End
+	}
+	return b[lo:hi]
+}
+
+// AppendTo flattens the chain's payload onto dst (for backends that need a
+// contiguous view, e.g. the kernel-path file write).
+func (c Chain) AppendTo(dst []byte) []byte {
+	for i := range c.Segs {
+		dst = append(dst, c.Span(i)...)
+	}
+	return dst
+}
+
+// Release drops the receiver's reference on every segment. Call exactly once
+// unless the references were transferred elsewhere.
+func (c *Chain) Release() {
+	for _, s := range c.Segs {
+		s.Release()
+	}
+	c.Segs = nil
+}
+
+// NewChain copies raw, already-framed bytes into freshly pooled segments and
+// returns a chain owning one reference per segment. Helper for tests and
+// replay paths that start from a contiguous stream; the hot path encodes
+// directly into segments via Buffer instead.
+func NewChain(pool *bufpool.Pool, data []byte) Chain {
+	var c Chain
+	for len(data) > 0 {
+		s := pool.Get()
+		n := copy(s.Bytes(), data)
+		data = data[n:]
+		c.Segs = append(c.Segs, s)
+		c.End = n
+	}
+	return c
+}
+
 // Buffer is the user-level WAL write buffer (the paper's "Periodical-Log"
 // staging area): records accumulate here and drain to the backend either
 // when the server goes idle, when the buffer exceeds a size threshold, or on
 // the flush timer.
+//
+// Records are encoded directly into pooled page-sized segments, so a drain
+// transfers references instead of bytes: the same memory the event loop
+// encoded into is what the device programs (zero-copy data plane). After a
+// drain the buffer retains the partial tail segment and keeps filling it
+// past the drained range — see Chain for why that is safe.
 type Buffer struct {
-	buf      []byte
+	pool     *bufpool.Pool
+	segs     []*bufpool.Segment // buffer-owned refs; segs[0] may be a shared tail
+	off      int                // un-drained start offset in segs[0]
+	end      int                // write position in the last segment
 	records  int
-	appended int64 // lifetime bytes appended, for WAL-snapshot triggering
-	sizeHint int   // largest drained size seen: presize to skip regrowth
+	appended int64  // lifetime bytes appended, for WAL-snapshot triggering
+	kbuf     []byte // reused scratch for AppendString keys
+}
+
+// NewBuffer returns a buffer encoding into pool's segments.
+func NewBuffer(pool *bufpool.Pool) *Buffer {
+	if pool == nil {
+		panic("wal: NewBuffer needs a pool")
+	}
+	return &Buffer{pool: pool}
+}
+
+// write copies p into the tail, pulling fresh segments as needed.
+func (b *Buffer) write(p []byte) {
+	ss := b.pool.SegSize()
+	for len(p) > 0 {
+		if len(b.segs) == 0 || b.end == ss {
+			b.segs = append(b.segs, b.pool.Get())
+			b.end = 0
+		}
+		n := copy(b.segs[len(b.segs)-1].Bytes()[b.end:], p)
+		b.end += n
+		p = p[n:]
+	}
 }
 
 // Append frames a record into the buffer.
 func (b *Buffer) Append(op Op, key, value []byte) {
-	if b.buf == nil && b.sizeHint > 0 {
-		// Drain hands the previous backing array to the caller, so each
-		// fill cycle starts from nil; presizing to the previous drained
-		// size avoids re-paying the append-grow copies every cycle. The
-		// hint tracks the last drain, not the maximum: drain sizes vary
-		// wildly between threshold-driven and idle-driven cycles, and a
-		// sticky maximum would zero a worst-case buffer every cycle.
-		b.buf = make([]byte, 0, b.sizeHint)
-	}
-	before := len(b.buf)
-	b.buf = AppendRecord(b.buf, op, key, value)
+	var hdr [headerSize]byte
+	hdr[0] = recordMagic
+	hdr[1] = byte(op)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(value)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:10])
+	crc.Write(key)
+	crc.Write(value)
+	binary.LittleEndian.PutUint32(hdr[10:14], crc.Sum32())
+	b.write(hdr[:])
+	b.write(key)
+	b.write(value)
 	b.records++
-	b.appended += int64(len(b.buf) - before)
+	b.appended += int64(headerSize + len(key) + len(value))
+}
+
+// AppendString is Append with a string key, encoded through a reused scratch
+// buffer so the per-command []byte(key) conversion allocates nothing.
+func (b *Buffer) AppendString(op Op, key string, value []byte) {
+	b.kbuf = append(b.kbuf[:0], key...)
+	b.Append(op, b.kbuf, value)
 }
 
 // Len reports buffered (un-drained) bytes.
-func (b *Buffer) Len() int { return len(b.buf) }
+func (b *Buffer) Len() int {
+	if len(b.segs) == 0 {
+		return 0
+	}
+	return (len(b.segs)-1)*b.pool.SegSize() + b.end - b.off
+}
 
 // Records reports buffered record count.
 func (b *Buffer) Records() int { return b.records }
@@ -160,20 +291,52 @@ func (b *Buffer) Records() int { return b.records }
 // AppendedTotal reports lifetime bytes appended (drained or not).
 func (b *Buffer) AppendedTotal() int64 { return b.appended }
 
-// Drain returns the buffered bytes and resets the buffer. The returned slice
-// is owned by the caller.
-func (b *Buffer) Drain() []byte {
-	out := b.buf
-	b.sizeHint = len(out)
-	b.buf = nil
+// Drain hands the buffered bytes to the caller as a Chain (one reference per
+// segment transfers; see Chain's ownership contract) and resets the record
+// count. The buffer retains the partial tail segment — taking a reference of
+// its own — and continues encoding past the drained range.
+func (b *Buffer) Drain() Chain {
+	if b.Len() == 0 {
+		return Chain{}
+	}
+	c := Chain{Segs: b.segs, Off: b.off, End: b.end}
+	last := b.segs[len(b.segs)-1]
+	if b.end < b.pool.SegSize() {
+		last.Retain()
+		b.segs = []*bufpool.Segment{last}
+		b.off = b.end
+	} else {
+		b.segs = nil
+		b.off, b.end = 0, 0
+	}
 	b.records = 0
-	return out
+	return c
+}
+
+// Cut drops the retained tail segment so the next append starts on a fresh
+// one — called after a WAL rotation, keeping the buffer's segment boundaries
+// page-aligned with the backend's new log head. The buffer must be drained.
+func (b *Buffer) Cut() {
+	if b.Len() != 0 {
+		panic("wal: Cut on a buffer with un-drained bytes")
+	}
+	b.Close()
+}
+
+// Close releases every segment the buffer still holds (including un-drained
+// data). Use at shutdown/teardown; the buffer is reusable afterwards.
+func (b *Buffer) Close() {
+	for _, s := range b.segs {
+		s.Release()
+	}
+	b.segs = nil
+	b.off, b.end = 0, 0
+	b.records = 0
 }
 
 // Reset discards buffered data and the lifetime counter (used when a
 // WAL-snapshot supersedes the log).
 func (b *Buffer) Reset() {
-	b.buf = nil
-	b.records = 0
+	b.Close()
 	b.appended = 0
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/slimio/slimio/internal/bufpool"
 )
 
 func TestRecordRoundTrip(t *testing.T) {
@@ -101,7 +103,8 @@ func TestDecodeAllZeroPadding(t *testing.T) {
 }
 
 func TestBuffer(t *testing.T) {
-	var b Buffer
+	pool := bufpool.New(4096)
+	b := NewBuffer(pool)
 	b.Append(OpSet, []byte("a"), []byte("1"))
 	b.Append(OpSet, []byte("b"), []byte("2"))
 	if b.Records() != 2 || b.Len() == 0 {
@@ -118,14 +121,19 @@ func TestBuffer(t *testing.T) {
 	if b.AppendedTotal() != total {
 		t.Fatal("drain must not reset lifetime counter")
 	}
-	recs, _ := DecodeAll(data)
+	recs, _ := DecodeAll(data.AppendTo(nil))
 	if len(recs) != 2 {
 		t.Fatalf("drained stream decodes %d records", len(recs))
 	}
+	data.Release()
 	b.Append(OpSet, []byte("c"), []byte("3"))
 	b.Reset()
 	if b.AppendedTotal() != 0 || b.Len() != 0 {
 		t.Fatal("reset must clear everything")
+	}
+	b.Close()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments still in flight after close", n)
 	}
 }
 
@@ -171,5 +179,71 @@ func TestRecordProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the old contiguous Buffer's Drain aliasing hazard: Drain
+// handed callers a view of the buffer's internal slice, so a later append
+// could grow-and-move (or rewrite) bytes a device write was still reading.
+// The segment chain forbids that by construction — bytes below the drained
+// End are immutable while the producer keeps encoding into the shared tail
+// segment, so the in-flight view must stay bit-identical no matter how much
+// is appended afterwards.
+func TestDrainImmutableWhileProducerAppends(t *testing.T) {
+	pool := bufpool.New(128)
+	b := NewBuffer(pool)
+	b.Append(OpSet, []byte("key-a"), bytes.Repeat([]byte("1"), 40))
+	chain := b.Drain()
+	want := chain.AppendTo(nil) // what an in-flight device write would DMA
+	// Producer keeps going: fills the shared tail segment, crosses many
+	// segment boundaries, drains and releases again.
+	for i := 0; i < 32; i++ {
+		b.Append(OpSet, []byte("key-b"), bytes.Repeat([]byte("2"), 60))
+	}
+	chain2 := b.Drain()
+	if got := chain.AppendTo(nil); !bytes.Equal(got, want) {
+		t.Fatal("later appends mutated a drained, in-flight chain")
+	}
+	chain2.Release()
+	chain.Release()
+	b.Close()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments still in flight after teardown", n)
+	}
+}
+
+// Regression for recycle-after-drain: once the producer releases its share
+// of a drained chain, the pool must not hand those segments to new writers
+// while the device still holds references — recycling is gated by the
+// reference counts, not by the producer's write position.
+func TestDrainRecycleGatedByDeviceRefs(t *testing.T) {
+	pool := bufpool.New(128)
+	b := NewBuffer(pool)
+	b.Append(OpSet, []byte("k"), bytes.Repeat([]byte("x"), 300)) // spans segments
+	chain := b.Drain()
+	want := chain.AppendTo(nil)
+	// The device retains every segment (as nand.Program does on store)
+	// before the producer releases and recycles its own bookkeeping.
+	view := chain // device-side descriptor copy
+	for _, s := range view.Segs {
+		s.Retain()
+	}
+	chain.Release()
+	b.Close()
+	// Hammer the pool with a fresh producer: if a device-held segment were
+	// recycled, these appends would overwrite its bytes.
+	b2 := NewBuffer(pool)
+	for i := 0; i < 16; i++ {
+		b2.Append(OpSet, []byte("z"), bytes.Repeat([]byte("9"), 100))
+	}
+	c2 := b2.Drain()
+	if got := view.AppendTo(nil); !bytes.Equal(got, want) {
+		t.Fatal("pool recycled device-held segments into new writes")
+	}
+	c2.Release()
+	b2.Close()
+	view.Release()
+	if n := pool.InFlight(); n != 0 {
+		t.Fatalf("%d segments still in flight after teardown", n)
 	}
 }

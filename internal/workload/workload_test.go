@@ -7,15 +7,17 @@ import (
 
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/wal"
 )
 
 // memBackend reuses a trivial in-memory backend for workload tests.
 type memBackend struct{ walBytes int64 }
 
 func (m *memBackend) Label() string { return "mem" }
-func (m *memBackend) WALAppend(env *sim.Env, data []byte) error {
+func (m *memBackend) WALAppend(env *sim.Env, data wal.Chain) error {
 	env.Sleep(10 * sim.Microsecond)
-	m.walBytes += int64(len(data))
+	m.walBytes += int64(data.Len())
+	data.Release()
 	return nil
 }
 func (m *memBackend) WALSync(env *sim.Env) error { env.Sleep(10 * sim.Microsecond); return nil }

@@ -163,6 +163,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.DB.Pool = arr.Pool()
 	db := imdb.New(eng, be, cfg.DB, nil)
 	db.Start()
 	return &System{Sim: eng, Device: dev, Backend: be, DB: db}, nil
