@@ -37,6 +37,7 @@ import (
 func main() {
 	var (
 		jsonOut   = flag.Bool("json", false, "emit findings as JSON on stdout")
+		sarifOut  = flag.String("sarif", "", "also write findings as SARIF 2.1.0 to the named file")
 		explain   = flag.String("explain", "", "print the named pass's rationale and exit (\"all\" for every pass)")
 		list      = flag.Bool("list", false, "list passes with one-line summaries and exit")
 		flagsMode = flag.Bool("flags", false, "describe flags in JSON (go vet protocol)")
@@ -77,6 +78,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slimio-vet:", err)
 		os.Exit(2)
+	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "slimio-vet:", err)
+			os.Exit(2)
+		}
 	}
 	if *jsonOut {
 		out := struct {
@@ -122,6 +129,10 @@ func runStandalone(patterns []string) ([]analysis.Finding, error) {
 		}
 		all = append(all, findings...)
 	}
+	// Re-sort the aggregate: per-package order is deterministic, but files
+	// shared across test variants (and relativized paths) must land in one
+	// global order so two runs emit byte-identical output.
+	suite.SortFindings(all)
 	return all, nil
 }
 

@@ -1,0 +1,130 @@
+// SARIF 2.1.0 export: the minimal, stable subset CI annotation tooling
+// consumes. One run, one driver, one rule per suite pass (plus the "allow"
+// pseudo-pass for malformed suppressions), one result per finding. Output
+// is deterministic: rules are emitted in sorted name order and results in
+// the suite's canonical finding order, so the SARIF artifact is as
+// byte-reproducible as the text output.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/slimio/slimio/internal/analysis"
+	"github.com/slimio/slimio/internal/analysis/suite"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// buildSARIF assembles the log for a finding list (already in canonical
+// order — writeSARIF does not re-sort).
+func buildSARIF(findings []analysis.Finding) sarifLog {
+	rules := make([]sarifRule, 0, len(suite.All)+1)
+	rules = append(rules, sarifRule{
+		ID:               "allow",
+		ShortDescription: sarifMessage{Text: "malformed //slimio:allow suppression directive"},
+	})
+	for _, name := range suite.Names() {
+		a := suite.Lookup(name)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: strings.SplitN(a.Doc, "\n", 2)[0]},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "slimio-vet",
+				InformationURI: "https://github.com/slimio/slimio",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+func writeSARIF(path string, findings []analysis.Finding) error {
+	data, err := json.MarshalIndent(buildSARIF(findings), "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding SARIF: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing SARIF: %v", err)
+	}
+	return nil
+}

@@ -77,6 +77,7 @@ type Finding struct {
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
+	Offset   int            `json:"offset"` // byte offset in File: the stable sort key
 	Message  string         `json:"message"`
 }
 

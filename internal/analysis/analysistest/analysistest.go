@@ -9,6 +9,14 @@
 // where each quoted string is a regular expression that must match the
 // message of exactly one diagnostic reported on that line. Diagnostics with
 // no matching want, and wants with no matching diagnostic, fail the test.
+// A count prefix expects the same pattern several times on one line:
+//
+//	code() // want 2*"regexp"
+//
+// is shorthand for writing the quoted pattern twice. Fixture packages may
+// span multiple files; wants and diagnostics are matched per file and line,
+// and package-wide state (such as ownership annotations on helpers in a
+// sibling file) resolves across the whole fixture package.
 //
 // //slimio:allow suppression is applied exactly as the slimio-vet driver
 // applies it, so a fixture can prove the suppression path works by pairing
@@ -28,9 +36,24 @@ import (
 	"github.com/slimio/slimio/internal/analysis/load"
 )
 
+// TB is the slice of testing.TB the harness needs. It exists so the
+// harness's own tests can substitute a recorder and assert which failures
+// Run would report.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // Run loads the fixture package at pattern (a directory path relative to
 // the test's working directory, e.g. "./testdata/src/a") and applies a.
 func Run(t *testing.T, pattern string, a *analysis.Analyzer) {
+	t.Helper()
+	RunTB(t, pattern, a)
+}
+
+// RunTB is Run with a pluggable failure sink.
+func RunTB(t TB, pattern string, a *analysis.Analyzer) {
 	t.Helper()
 	pkgs, err := load.Load("", pattern)
 	if err != nil {
@@ -49,7 +72,7 @@ type want struct {
 	matched bool
 }
 
-func checkPackage(t *testing.T, pkg *load.Package, a *analysis.Analyzer) {
+func checkPackage(t TB, pkg *load.Package, a *analysis.Analyzer) {
 	t.Helper()
 
 	wants := collectWants(t, pkg)
@@ -111,11 +134,12 @@ func claimWant(wants map[string][]*want, f analysis.Finding) bool {
 }
 
 // wantRE tokenizes the expectation list: double-quoted or backquoted Go
-// string literals, each holding one regexp.
-var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+// string literals, each holding one regexp, optionally prefixed with a
+// repeat count as in 2*"re".
+var wantRE = regexp.MustCompile("(?:(\\d+)\\*)?(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
 
 // collectWants scans fixture comments for `// want "re"...` expectations.
-func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
+func collectWants(t TB, pkg *load.Package) map[string][]*want {
 	t.Helper()
 	wants := make(map[string][]*want)
 	for _, file := range pkg.Files {
@@ -128,16 +152,28 @@ func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
-					unq, err := strconv.Unquote(q)
+				for _, tok := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					count := 1
+					if tok[1] != "" {
+						n, err := strconv.Atoi(tok[1])
+						if err != nil || n < 1 {
+							t.Fatalf("%s: bad want count %q", key, tok[1])
+						}
+						count = n
+					}
+					unq, err := strconv.Unquote(tok[2])
 					if err != nil {
-						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+						t.Fatalf("%s: bad want string %s: %v", key, tok[2], err)
 					}
 					re, err := regexp.Compile(unq)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", key, unq, err)
 					}
-					wants[key] = append(wants[key], &want{re: re})
+					// A counted want is sugar for the same pattern repeated:
+					// each instance must claim a distinct diagnostic.
+					for i := 0; i < count; i++ {
+						wants[key] = append(wants[key], &want{re: re})
+					}
 				}
 			}
 		}

@@ -1,0 +1,12 @@
+// A deliberately mismatched fixture for the harness self-test: the counted
+// want expects one diagnostic too many, and the second call reports with no
+// want at all. RunTB over this package must produce exactly those two
+// failures.
+package bad
+
+func helper() {}
+
+func caller() {
+	helper() // want 2*`call of helper`
+	helper()
+}

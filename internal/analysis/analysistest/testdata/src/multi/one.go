@@ -1,0 +1,9 @@
+// Half of a two-file fixture: the harness must resolve wants and
+// diagnostics across every file of the package, and a counted want must
+// claim exactly that many diagnostics on its line.
+package multi
+
+func caller() int {
+	helper()             // want `call of helper`
+	return wrap(inner()) // want 2*`call of`
+}

@@ -1,0 +1,13 @@
+// The other half of the fixture: expectations in a second file are
+// collected and matched the same way.
+package multi
+
+func helper() {}
+
+func inner() int { return 1 }
+
+func wrap(x int) int { return x }
+
+func alsoCovered() {
+	helper() // want `call of helper`
+}

@@ -1,0 +1,479 @@
+// Package cfg constructs intraprocedural control-flow graphs from go/ast
+// function bodies, built only on the standard library (it deliberately
+// mirrors the shape of golang.org/x/tools/go/cfg so passes read familiarly).
+//
+// The graph is a list of basic blocks holding "atomic" nodes — simple
+// statements and the leaf expressions of short-circuit conditions — wired by
+// successor edges. Compound statements never appear as nodes; their control
+// structure becomes edges:
+//
+//   - if/for conditions are split at &&, || and ! so each leaf condition
+//     lands in the block that actually evaluates it (short-circuit edges);
+//   - switch/type-switch clauses each get a block (the dispatch block fans
+//     out to every clause; fallthrough edges chain clause bodies);
+//   - select clauses each get a block holding their comm statement;
+//   - labeled break/continue and goto resolve through the label;
+//   - return statements edge to the synthetic Exit block, and calls to the
+//     panic builtin edge to the synthetic Panic block, so "function exit"
+//     and "abnormal exit" are distinct join points a dataflow pass can treat
+//     differently;
+//   - range statements appear as a single node in their loop-head block (the
+//     node stands for "advance the iterator and assign key/value"); a pass
+//     walking block nodes must not descend into the range body, which is
+//     wired as ordinary blocks.
+//
+// Defer is modeled as data, not edges: each *ast.DeferStmt is both a node in
+// the block where it executes (registration point) and an entry in
+// Graph.Defers, so a pass can apply deferred effects at Exit. This matches
+// how the repo's ownership passes consume defers (a deferred Release
+// satisfies the release-before-exit obligation without being a release
+// point in the body).
+//
+// Edge order is deterministic and meaningful: a condition block's first
+// successor is its true branch, the second its false branch; a dispatch
+// block's successors follow source order.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block; Blocks[0] is Entry, Blocks[1] Exit,
+	// Blocks[2] Panic. Remaining blocks appear in construction order
+	// (deterministic for a given AST).
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // normal function exit (every return, and falling off the end)
+	Panic  *Block // abnormal exit (calls to the panic builtin)
+
+	// Defers lists every defer statement in the body, in source order.
+	// Deferred calls run at both Exit and Panic; passes decide how to apply
+	// them.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one basic block.
+type Block struct {
+	Index int    // position in Graph.Blocks
+	Kind  string // construction site, e.g. "if.then", "for.head" (for dumps)
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// New builds the CFG of body. The AST is not modified. body may contain
+// syntax only — no type information is needed.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	g.Panic = b.newBlock("panic")
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.jump(g.Exit) // falling off the end of the body
+	for _, p := range b.gotoPatches {
+		if lb, ok := b.labels[p.label]; ok {
+			b.edge(p.from, lb)
+		}
+	}
+	return g
+}
+
+type gotoPatch struct {
+	from  *Block
+	label string
+}
+
+// targets is one entry of the break/continue resolution stack.
+type targets struct {
+	label    string
+	breaks   *Block
+	cont     *Block // nil for switch/select
+	fallNext *Block // fallthrough target (switch clauses only)
+}
+
+type builder struct {
+	g           *Graph
+	cur         *Block
+	stack       []targets
+	labels      map[string]*Block
+	gotoPatches []gotoPatch
+	pending     string // label attached to the next statement
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump wires the current block to.
+func (b *builder) jump(to *Block) { b.edge(b.cur, to) }
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// unreachable parks the builder on a fresh predecessor-less block after a
+// terminating statement (return, goto, panic...). Statements that follow are
+// dead code but still get blocks, like upstream cfg.
+func (b *builder) unreachable() { b.cur = b.newBlock("unreachable") }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pending
+	b.pending = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.jump(body)
+		}
+		b.stack = append(b.stack, targets{label: label, breaks: done, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		if post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jump(head)
+		b.cur = head
+		// The RangeStmt node stands for "advance and assign key/value";
+		// passes must not descend into its Body (already wired as blocks).
+		b.add(s)
+		b.jump(body)
+		b.jump(done)
+		b.stack = append(b.stack, targets{label: label, breaks: done, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.jump(head)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		done := b.newBlock("select.done")
+		dispatch := b.cur
+		b.stack = append(b.stack, targets{label: label, breaks: done})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(dispatch, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		// An empty select blocks forever: done keeps no predecessors.
+		b.cur = done
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.unreachable()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s, false); t != nil {
+				b.jump(t)
+			}
+			b.unreachable()
+		case token.CONTINUE:
+			if t := b.findTarget(s, true); t != nil {
+				b.jump(t)
+			}
+			b.unreachable()
+		case token.GOTO:
+			if lb, ok := b.labels[s.Label.Name]; ok {
+				b.jump(lb)
+			} else {
+				b.gotoPatches = append(b.gotoPatches, gotoPatch{b.cur, s.Label.Name})
+			}
+			b.unreachable()
+		case token.FALLTHROUGH:
+			for i := len(b.stack) - 1; i >= 0; i-- {
+				if b.stack[i].fallNext != nil {
+					b.jump(b.stack[i].fallNext)
+					break
+				}
+			}
+			b.unreachable()
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.jump(b.g.Panic)
+			b.unreachable()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Go, Send, IncDec, ... — atomic for control flow.
+		b.add(s)
+	}
+}
+
+// switchBody wires the clause blocks of a (type) switch. The dispatch block
+// (current) fans out to every clause in source order — and to done when no
+// default exists. Each clause block starts with its case expressions;
+// fallthrough edges chain a clause to the next clause's block.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, kind string) {
+	done := b.newBlock(kind + ".done")
+	dispatch := b.cur
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		k := kind + ".case"
+		if cc.List == nil {
+			k = kind + ".default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(k)
+		b.edge(dispatch, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(dispatch, done)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		var fallNext *Block
+		if i+1 < len(clauses) {
+			fallNext = blocks[i+1]
+		}
+		b.stack = append(b.stack, targets{label: label, breaks: done, fallNext: fallNext})
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	b.cur = done
+}
+
+// findTarget resolves a break/continue (optionally labeled) against the
+// enclosing-construct stack.
+func (b *builder) findTarget(s *ast.BranchStmt, wantCont bool) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		t := b.stack[i]
+		if wantCont && t.cont == nil {
+			continue // switch/select: continue passes through to the loop
+		}
+		if s.Label != nil && t.label != s.Label.Name {
+			continue
+		}
+		if wantCont {
+			return t.cont
+		}
+		return t.breaks
+	}
+	return nil
+}
+
+// cond wires the evaluation of a boolean expression so control reaches t
+// when it is true and f when it is false, splitting short-circuit operators
+// into their own blocks. Leaf conditions are added as nodes of the block
+// that evaluates them; a leaf block's successor order is [true, false].
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	b.jump(t)
+	b.jump(f)
+}
+
+// isPanicCall recognizes a direct call to the panic builtin. Purely
+// syntactic: a local identifier shadowing panic would be misclassified, a
+// trade the no-type-info constructor accepts.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the graph deterministically for golden tests and debugging.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", NodeString(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			ids := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				ids[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(ids, " "))
+		}
+	}
+	if len(g.Defers) > 0 {
+		sb.WriteString("defers:\n")
+		for _, d := range g.Defers {
+			fmt.Fprintf(&sb, "\t%s\n", NodeString(fset, d))
+		}
+	}
+	return sb.String()
+}
+
+// NodeString renders one block node on a single line.
+func NodeString(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// Print only the iteration header; the body is wired as blocks.
+		var hdr strings.Builder
+		hdr.WriteString("range ")
+		if r.Key != nil {
+			hdr.WriteString(exprString(fset, r.Key))
+			if r.Value != nil {
+				hdr.WriteString(", ")
+				hdr.WriteString(exprString(fset, r.Value))
+			}
+			hdr.WriteString(" " + r.Tok.String() + " ")
+		}
+		hdr.WriteString(exprString(fset, r.X))
+		return hdr.String()
+	}
+	return exprString(fset, n)
+}
+
+func exprString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	// Flatten any multi-line rendering (e.g. a func literal argument).
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.Join(strings.Fields(s), " ")
+	return s
+}

@@ -1,0 +1,108 @@
+package cfg
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dump")
+
+// TestGoldenDumps builds the CFG of every fixture function and compares the
+// rendered graphs against testdata/funcs.golden byte for byte. Regenerate
+// with `go test ./internal/analysis/cfg -run Golden -update`.
+func TestGoldenDumps(t *testing.T) {
+	got := dumpFixture(t)
+	golden := "testdata/funcs.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump differs from %s.\ngot:\n%s", golden, got)
+	}
+}
+
+// TestDumpDeterministic re-parses and re-builds the fixture and demands a
+// byte-identical dump — the CFG construction order must not depend on any
+// hidden iteration order.
+func TestDumpDeterministic(t *testing.T) {
+	if a, b := dumpFixture(t), dumpFixture(t); a != b {
+		t.Error("two CFG builds of the same source dumped differently")
+	}
+}
+
+func dumpFixture(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/funcs.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "func %s:\n", fn.Name.Name)
+		sb.WriteString(New(fn.Body).Dump(fset))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestStructuralInvariants checks edge symmetry and sink shape on every
+// fixture graph: Succs/Preds mirror each other, Exit and Panic have no
+// successors, and Entry has no predecessors.
+func TestStructuralInvariants(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/funcs.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		g := New(fn.Body)
+		if len(g.Entry.Preds) != 0 {
+			t.Errorf("%s: entry has predecessors", fn.Name.Name)
+		}
+		if len(g.Exit.Succs) != 0 || len(g.Panic.Succs) != 0 {
+			t.Errorf("%s: exit/panic sink has successors", fn.Name.Name)
+		}
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				if !containsEdge(s.Preds, b) {
+					t.Errorf("%s: edge b%d->b%d missing from Preds", fn.Name.Name, b.Index, s.Index)
+				}
+			}
+			for _, p := range b.Preds {
+				if !containsEdge(p.Succs, b) {
+					t.Errorf("%s: pred edge b%d->b%d missing from Succs", fn.Name.Name, p.Index, b.Index)
+				}
+			}
+		}
+	}
+}
+
+func containsEdge(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Fixture functions for the CFG golden-dump test. Parsed only — never
+// compiled — so the declarations are free to reference undefined helpers.
+package funcs
+
+func ifElse(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+
+func shortCircuit(a, b, c bool) int {
+	if a && (b || !c) {
+		return 1
+	}
+	return 0
+}
+
+func forLoop(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func rangeLoop(xs []int) int {
+	sum := 0
+	for i, v := range xs {
+		_ = i
+		sum += v
+	}
+	return sum
+}
+
+func switchCases(x int) string {
+	switch y := x * 2; y {
+	case 0:
+		return "zero"
+	case 1, 2:
+		fallthrough
+	case 3:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func selectCases(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func labeledLoops(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 1
+}
+
+func deferRelease(p pool) byte {
+	s := p.Get()
+	defer s.Release()
+	b := s.Bytes()
+	return b[0]
+}
+
+func panicPath(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+func gotoRetry(n int) int {
+	tries := 0
+retry:
+	tries++
+	if tries < n {
+		goto retry
+	}
+	return tries
+}
+
+func infinite(c chan int) {
+	for {
+		<-c
+	}
+}

@@ -1,0 +1,135 @@
+// Package dataflow is a generic intraprocedural forward-dataflow solver
+// over the CFGs of package cfg: a classic worklist algorithm parameterized
+// by a join-semilattice (Bottom/Join/Equal) and a per-block transfer
+// function.
+//
+// The solver is deterministic by construction: blocks are visited in
+// reverse postorder, the worklist is drained in that fixed order, and joins
+// fold predecessor facts in edge order — so two runs over the same graph
+// with a pure transfer function produce identical results, which is what
+// lets the ownership passes participate in slimio-vet's byte-for-byte
+// output determinism bar.
+//
+// Bottom means "unreachable / no information". The solver never calls the
+// transfer function on a bottom input: unreachable blocks keep bottom on
+// both sides, so a reporting pass replaying block facts naturally skips
+// dead code.
+package dataflow
+
+import (
+	"github.com/slimio/slimio/internal/analysis/cfg"
+)
+
+// Lattice describes the fact domain of an analysis. Implementations must be
+// pure: Join must not mutate its arguments.
+type Lattice[F any] interface {
+	// Bottom is the identity of Join ("unreachable").
+	Bottom() F
+	// Join combines facts flowing in from two predecessors.
+	Join(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// solver iterates until every block's input fact stops changing.
+	Equal(a, b F) bool
+}
+
+// Result holds the fixpoint: the fact at block entry and exit, indexed by
+// cfg Block.Index.
+type Result[F any] struct {
+	In, Out []F
+}
+
+// maxPasses bounds worklist iterations per block: any sane lattice for a
+// function-sized graph converges in a handful of sweeps, so hitting the
+// bound means a Join that does not converge (a pass bug worth a loud stop).
+const maxPasses = 1 << 14
+
+// Forward solves a forward dataflow problem on g. entry is the fact at the
+// function's entry block; transfer applies one block's nodes to an incoming
+// fact and must be pure (it runs an unspecified number of times).
+func Forward[F any](g *cfg.Graph, lat Lattice[F], entry F, transfer func(b *cfg.Block, in F) F) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = lat.Bottom()
+		res.Out[i] = lat.Bottom()
+	}
+
+	order := postorder(g)
+	// Reverse postorder: forward analyses converge fastest visiting
+	// predecessors before successors.
+	rpo := make([]*cfg.Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+
+	onList := make([]bool, n)
+	for _, b := range rpo {
+		onList[b.Index] = true
+	}
+	steps := 0
+	for {
+		var cur *cfg.Block
+		for _, b := range rpo { // first pending block in RPO: deterministic
+			if onList[b.Index] {
+				cur = b
+				break
+			}
+		}
+		if cur == nil {
+			return res
+		}
+		onList[cur.Index] = false
+		if steps++; steps > maxPasses*n {
+			panic("dataflow: fixpoint iteration did not converge (non-monotone Join?)")
+		}
+
+		in := lat.Bottom()
+		if cur == g.Entry {
+			in = entry
+		}
+		for _, p := range cur.Preds {
+			in = lat.Join(in, res.Out[p.Index])
+		}
+		out := res.Out[cur.Index]
+		if lat.Equal(in, lat.Bottom()) && cur != g.Entry {
+			// Unreachable: keep bottom, never run the transfer.
+			res.In[cur.Index] = in
+			continue
+		}
+		res.In[cur.Index] = in
+		newOut := transfer(cur, in)
+		if lat.Equal(out, newOut) {
+			continue
+		}
+		res.Out[cur.Index] = newOut
+		for _, s := range cur.Succs {
+			onList[s.Index] = true
+		}
+	}
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder,
+// following successor edges in order (deterministic).
+func postorder(g *cfg.Graph) []*cfg.Block {
+	seen := make([]bool, len(g.Blocks))
+	var order []*cfg.Block
+	var visit func(b *cfg.Block)
+	visit = func(b *cfg.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		order = append(order, b)
+	}
+	visit(g.Entry)
+	// Unreachable blocks (dead code after return/goto) still get a slot at
+	// the end so Result indexing stays total; they keep bottom facts.
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			order = append([]*cfg.Block{b}, order...)
+		}
+	}
+	return order
+}

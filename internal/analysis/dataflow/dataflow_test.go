@@ -1,0 +1,186 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/cfg"
+)
+
+// setLattice is the powerset lattice over identifier names: join = union.
+type setLattice struct{}
+
+func (setLattice) Bottom() map[string]bool { return nil }
+
+func (setLattice) Join(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (setLattice) Equal(a, b map[string]bool) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// assigned is a may-be-assigned analysis: the fact is the set of variable
+// names assigned on some path reaching a point.
+func assigned(b *cfg.Block, in map[string]bool) map[string]bool {
+	out := in
+	cloned := false
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if !cloned {
+				m := make(map[string]bool, len(out)+1)
+				for k := range out {
+					m[k] = true
+				}
+				out, cloned = m, true
+			}
+			out[id.Name] = true
+		}
+	}
+	if out == nil {
+		out = map[string]bool{} // reachable but empty
+	}
+	return out
+}
+
+func solve(t *testing.T, src string) (*cfg.Graph, *Result[map[string]bool]) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package t\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	g := cfg.New(fn.Body)
+	return g, Forward[map[string]bool](g, setLattice{}, map[string]bool{}, assigned)
+}
+
+func names(m map[string]bool) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// TestBranchJoin: a variable assigned on only one branch is still in the
+// may-set after the join; one assigned on neither stays out.
+func TestBranchJoin(t *testing.T) {
+	g, res := solve(t, `
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		_ = b
+	}
+	a = 3
+}`)
+	got := names(res.In[g.Exit.Index])
+	if got != "a,b" {
+		t.Errorf("exit fact = %q, want \"a,b\"", got)
+	}
+}
+
+// TestLoopFixpoint: an assignment inside a loop body must flow around the
+// back edge into the loop head's input fact.
+func TestLoopFixpoint(t *testing.T) {
+	g, res := solve(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		x := i
+		_ = x
+	}
+}`)
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	got := names(res.In[head.Index])
+	if got != "i,x" {
+		t.Errorf("loop head fact = %q, want \"i,x\" (back edge not applied)", got)
+	}
+}
+
+// TestUnreachableStaysBottom: code after a return keeps a bottom (nil)
+// fact — the transfer function must never have run on it.
+func TestUnreachableStaysBottom(t *testing.T) {
+	g, res := solve(t, `
+func f() {
+	return
+	x := 1
+	_ = x
+}`)
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && len(b.Preds) == 0 {
+			if res.In[b.Index] != nil || res.Out[b.Index] != nil {
+				t.Errorf("unreachable b%d has non-bottom facts", b.Index)
+			}
+		}
+	}
+	if res.In[g.Exit.Index] == nil {
+		t.Error("exit unexpectedly bottom")
+	}
+}
+
+// TestDeterministic: two solves of the same function yield identical facts
+// block by block.
+func TestDeterministic(t *testing.T) {
+	src := `
+func f(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		if v > 0 {
+			total += v
+		} else {
+			total -= v
+		}
+	}
+	return total
+}`
+	g1, r1 := solve(t, src)
+	_, r2 := solve(t, src)
+	for i := range g1.Blocks {
+		if names(r1.In[i]) != names(r2.In[i]) || names(r1.Out[i]) != names(r2.Out[i]) {
+			t.Errorf("block %d facts differ between runs", i)
+		}
+	}
+}

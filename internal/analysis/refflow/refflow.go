@@ -1,0 +1,1044 @@
+// Package refflow is the flow-sensitive buffer-lifecycle pass: it tracks
+// the ownership state of bufpool references (segments, refs, wal chains)
+// per variable through each function's control-flow graph and reports
+// references that may leak, double-release, or be used after release.
+package refflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/slimio/slimio/internal/analysis"
+	"github.com/slimio/slimio/internal/analysis/cfg"
+	"github.com/slimio/slimio/internal/analysis/dataflow"
+)
+
+// Doc's first line is the summary; the rest is the -explain rationale.
+const Doc = `verify bufpool reference lifecycles flow-sensitively (leak, double release, use after release)
+
+The zero-copy data plane threads refcounted bufpool segments from the WAL
+encoder through the rings down to the NAND array; the runtime enforces the
+ownership contract only when a test happens to drive a path (refcount panics,
+end-of-cell quiescence). This pass proves the discipline statically, per
+function, on the control-flow graph: a variable bound to a pooled reference
+(pool.Get, an //slimio:owns-annotated source, an owning parameter) is tracked
+through branches, loops and defers as live / released / moved, and the pass
+reports
+  - a reference that may reach function exit still live (leaked),
+  - a Release on a path where the reference was already released or its
+    ownership already transferred,
+  - any use of a reference after a Release on some path reaching it.
+
+Ownership crossing a function boundary is declared with annotations in the
+callee's doc comment:
+
+	//slimio:owns <name>...     the function consumes the named refs (or, for
+	                            "return", hands an owned ref to its caller)
+	//slimio:borrows <name>...  the function only reads the named refs and
+	                            must not release them
+
+Annotations are resolved for same-package callees; a call into another
+package (or any un-annotated call, store into a structure, closure capture,
+or variable aliasing) conservatively ends tracking for the escaping
+reference — the pass trades cross-function precision for zero false
+positives. Suppress an intentional exception with
+//slimio:allow refflow <reason>.`
+
+// Analyzer is the refflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "refflow",
+	Doc:  Doc,
+	Run:  run,
+}
+
+// Paths of the packages whose types carry pooled references.
+const (
+	bufpoolPath = "github.com/slimio/slimio/internal/bufpool"
+	walPath     = "github.com/slimio/slimio/internal/wal"
+)
+
+// trackedType reports whether t is (a pointer to) one of the ref-carrying
+// types whose lifecycle the pass verifies.
+func trackedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	pkg, name := analysis.NamedTypePath(t)
+	switch {
+	case pkg == bufpoolPath && (name == "Segment" || name == "Ref"):
+		return true
+	case pkg == walPath && name == "Chain":
+		return true
+	}
+	return false
+}
+
+// st is a bitmask of the conditions a tracked reference may be in at a
+// program point (the dataflow join is set union, so several bits at once
+// mean "on some path").
+type st uint8
+
+const (
+	stLive     st = 1 << iota // holds a reference it must eventually release
+	stReleased                // the reference was dropped
+	stMoved                   // ownership was transferred (owns-call, return)
+	stDeferred                // a deferred Release will run at exit
+	stEscaped                 // untrackable (stored, aliased, unknown call)
+	stBorrowed                // annotated borrow: usable, must not release
+)
+
+// fact maps each tracked local to its possible states; nil is bottom
+// (unreachable).
+type fact map[types.Object]st
+
+type lattice struct{}
+
+func (lattice) Bottom() fact { return nil }
+
+func (lattice) Join(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(fact, len(a)+len(b))
+	for o, s := range a {
+		out[o] = s
+	}
+	for o, s := range b {
+		out[o] |= s
+	}
+	return out
+}
+
+func (lattice) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for o, s := range a {
+		if b[o] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// annot is one function's parsed ownership annotations.
+type annot struct {
+	owns    map[string]bool
+	borrows map[string]bool
+}
+
+func (a *annot) ownsName(name string) bool    { return a != nil && a.owns[name] }
+func (a *annot) borrowsName(name string) bool { return a != nil && a.borrows[name] }
+
+func run(pass *analysis.Pass) (any, error) {
+	annots := collectAnnotations(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			analyzeFunc(pass, annots, fn.Type, fn.Recv, fn.Body, annots[funcObj(pass, fn)])
+			// Function literals are analyzed as their own units (the
+			// enclosing analysis treats them as escapes).
+			for _, lit := range collectFuncLits(fn.Body) {
+				analyzeFunc(pass, annots, lit.Type, nil, lit.Body, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func funcObj(pass *analysis.Pass, fn *ast.FuncDecl) *types.Func {
+	obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	return obj
+}
+
+// collectFuncLits returns every function literal under body, outermost
+// first, in source order.
+func collectFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// collectAnnotations parses //slimio:owns and //slimio:borrows directives
+// from every function's doc comment in the package, validating the named
+// parameters, and indexes them by the function's type object so call sites
+// resolve through go/types.
+func collectAnnotations(pass *analysis.Pass) map[*types.Func]*annot {
+	out := make(map[*types.Func]*annot)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			a := parseAnnot(pass, fn)
+			if a == nil {
+				continue
+			}
+			if obj := funcObj(pass, fn); obj != nil {
+				out[obj] = a
+			}
+		}
+	}
+	return out
+}
+
+const (
+	ownsPrefix    = "//slimio:owns"
+	borrowsPrefix = "//slimio:borrows"
+)
+
+func parseAnnot(pass *analysis.Pass, fn *ast.FuncDecl) *annot {
+	valid := map[string]bool{"return": true}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				valid[name.Name] = true
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+
+	var a *annot
+	for _, c := range fn.Doc.List {
+		var prefix string
+		var set *map[string]bool
+		switch {
+		case strings.HasPrefix(c.Text, ownsPrefix) && directiveBoundary(c.Text, ownsPrefix):
+			prefix = ownsPrefix
+		case strings.HasPrefix(c.Text, borrowsPrefix) && directiveBoundary(c.Text, borrowsPrefix):
+			prefix = borrowsPrefix
+		default:
+			continue
+		}
+		if a == nil {
+			a = &annot{owns: map[string]bool{}, borrows: map[string]bool{}}
+		}
+		if prefix == ownsPrefix {
+			set = &a.owns
+		} else {
+			set = &a.borrows
+		}
+		// Validation diagnostics anchor at the declaration, not the directive
+		// comment, so fixture `// want` expectations can sit beside them.
+		names := strings.Fields(strings.TrimPrefix(c.Text, prefix))
+		if len(names) == 0 {
+			pass.Reportf(fn.Pos(), "%s needs at least one receiver/parameter name (or \"return\")", prefix)
+			continue
+		}
+		for _, name := range names {
+			if !valid[name] {
+				pass.Reportf(fn.Pos(), "%s names %q, which is not a receiver or parameter of %s (or \"return\")",
+					prefix, name, fn.Name.Name)
+				continue
+			}
+			if prefix == ownsPrefix && a.borrows[name] || prefix == borrowsPrefix && a.owns[name] {
+				pass.Reportf(fn.Pos(), "%q is named by both //slimio:owns and //slimio:borrows on %s", name, fn.Name.Name)
+				continue
+			}
+			(*set)[name] = true
+		}
+	}
+	return a
+}
+
+// directiveBoundary requires a word boundary after the directive prefix so
+// "//slimio:ownership" is not parsed as //slimio:owns.
+func directiveBoundary(text, prefix string) bool {
+	rest := strings.TrimPrefix(text, prefix)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// report is one deduplicated diagnostic (the transfer function replays
+// during reporting, so the same program point can be visited repeatedly).
+type report struct {
+	pos token.Pos
+	msg string
+}
+
+// funcAnalysis carries one function's analysis state.
+type funcAnalysis struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	annots    map[*types.Func]*annot
+	obligated map[types.Object]token.Pos // ref origin: must be dead at exit
+	reports   map[report]bool
+}
+
+// analyzeFunc verifies one function (or function literal) body. fnAnnot is
+// the function's own annotation set (nil for literals / unannotated funcs).
+func analyzeFunc(pass *analysis.Pass, annots map[*types.Func]*annot, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt, fnAnnot *annot) {
+	fa := &funcAnalysis{
+		pass:      pass,
+		info:      pass.TypesInfo,
+		annots:    annots,
+		obligated: map[types.Object]token.Pos{},
+		reports:   map[report]bool{},
+	}
+
+	// Entry fact: annotated parameters and receiver.
+	entry := fact{}
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := fa.info.Defs[name]
+				if obj == nil || !trackedType(obj.Type()) {
+					continue
+				}
+				switch {
+				case fnAnnot.ownsName(name.Name):
+					entry[obj] = stLive
+					fa.obligated[obj] = name.Pos()
+				case fnAnnot.borrowsName(name.Name):
+					entry[obj] = stBorrowed
+				}
+			}
+		}
+	}
+	bind(recv)
+	bind(ftype.Params)
+
+	// Obligation pre-scan: record every acquisition site syntactically (in
+	// source order, once) so the exit check knows which locals owe a release
+	// and where to point the leak diagnostic. Function literals are their own
+	// analysis units and are skipped.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				fa.scanAcquire(n.Lhs, n.Rhs)
+			}
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, name := range n.Names {
+				lhs[i] = name
+			}
+			fa.scanAcquire(lhs, n.Values)
+		}
+		return true
+	})
+
+	g := cfg.New(body)
+	transfer := func(b *cfg.Block, in fact) fact {
+		f := cloneFact(in)
+		for _, n := range b.Nodes {
+			fa.exec(n, f, false)
+		}
+		return f
+	}
+	res := dataflow.Forward[fact](g, lattice{}, entry, transfer)
+
+	// Reporting replay: re-run the transfer over every reachable block with
+	// reporting enabled, using the fixed-point input facts.
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b != g.Entry {
+			continue
+		}
+		f := cloneFact(in)
+		if b == g.Entry {
+			f = cloneFact(entry)
+		}
+		for _, n := range b.Nodes {
+			fa.exec(n, f, true)
+		}
+	}
+
+	// Exit obligation: every acquired reference must be dead (released,
+	// moved, deferred, or escaped) on every path reaching the normal exit.
+	// Panic exits are exempt: a panicking cell is torn down wholesale.
+	if exit := res.In[g.Exit.Index]; exit != nil {
+		objs := make([]types.Object, 0, len(fa.obligated))
+		for o := range fa.obligated {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(i, j int) bool { return fa.obligated[objs[i]] < fa.obligated[objs[j]] })
+		for _, o := range objs {
+			s := exit[o]
+			if s&stLive != 0 && s&(stEscaped|stDeferred) == 0 {
+				fa.reportf(fa.obligated[o],
+					"%s holds a pooled reference that may reach function exit without Release or ownership transfer", o.Name())
+			}
+		}
+	}
+
+	// Emit deduplicated reports in source order.
+	keys := make([]report, 0, len(fa.reports))
+	for r := range fa.reports {
+		keys = append(keys, r)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pos != keys[j].pos {
+			return keys[i].pos < keys[j].pos
+		}
+		return keys[i].msg < keys[j].msg
+	})
+	for _, r := range keys {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+func cloneFact(f fact) fact {
+	out := make(fact, len(f)+4)
+	for o, s := range f {
+		out[o] = s
+	}
+	return out
+}
+
+// reportf queues one deduplicated diagnostic (only during replay).
+func (fa *funcAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	fa.reports[report{pos, fmt.Sprintf(format, args...)}] = true
+}
+
+// exec applies one CFG node to the fact. When reporting is false it must be
+// a pure transfer (it runs under the fixpoint solver); when true it also
+// queues diagnostics.
+func (fa *funcAnalysis) exec(n ast.Node, f fact, reporting bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.assign(n, f, reporting)
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					fa.valueSpec(vs, f, reporting)
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if obj := fa.trackedIdent(res); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					fa.useCheck(res.Pos(), obj, f, reporting)
+					f[obj] = f[obj]&^stLive | stMoved
+					continue
+				}
+			}
+			fa.evalExpr(res, f, reporting)
+		}
+
+	case *ast.DeferStmt:
+		fa.deferStmt(n, f, reporting)
+
+	case *ast.GoStmt:
+		fa.escapeAll(n.Call, f)
+
+	case *ast.ExprStmt:
+		fa.evalExpr(n.X, f, reporting)
+
+	case *ast.SendStmt:
+		fa.evalExpr(n.Chan, f, reporting)
+		if obj := fa.trackedIdent(n.Value); obj != nil {
+			f[obj] |= stEscaped
+		} else {
+			fa.evalExpr(n.Value, f, reporting)
+		}
+
+	case *ast.IncDecStmt:
+		fa.evalExpr(n.X, f, reporting)
+
+	case *ast.RangeStmt:
+		// Head node: advance the iterator, (re)assign key and value. Range
+		// element variables borrow from the collection — untracked.
+		fa.evalExpr(n.X, f, reporting)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := fa.info.Defs[id]; obj != nil {
+					delete(f, obj)
+				}
+			}
+		}
+
+	case ast.Expr:
+		fa.evalExpr(n, f, reporting)
+	}
+}
+
+// valueSpec handles `var x = expr` declarations like defining assignments.
+func (fa *funcAnalysis) valueSpec(vs *ast.ValueSpec, f fact, reporting bool) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	lhs := make([]ast.Expr, len(vs.Names))
+	for i, n := range vs.Names {
+		lhs[i] = n
+	}
+	fa.assignPairs(lhs, vs.Values, f, reporting)
+}
+
+func (fa *funcAnalysis) assign(n *ast.AssignStmt, f fact, reporting bool) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// op= never applies to ref types; evaluate for uses only.
+		for _, e := range n.Rhs {
+			fa.evalExpr(e, f, reporting)
+		}
+		for _, e := range n.Lhs {
+			fa.evalExpr(e, f, reporting)
+		}
+		return
+	}
+	fa.assignPairs(n.Lhs, n.Rhs, f, reporting)
+}
+
+func (fa *funcAnalysis) assignPairs(lhs, rhs []ast.Expr, f fact, reporting bool) {
+	// Multi-value form: x, y := call().
+	if len(lhs) > 1 && len(rhs) == 1 {
+		owned := false
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			owned = fa.ownedSource(call)
+		}
+		fa.evalExpr(rhs[0], f, reporting)
+		for _, l := range lhs {
+			fa.bindLHS(l, f, reporting, owned, nil)
+		}
+		return
+	}
+	if len(lhs) != len(rhs) {
+		return
+	}
+	type rhsEffect struct {
+		owned bool
+		alias types.Object
+	}
+	effects := make([]rhsEffect, len(rhs))
+	for i, r := range rhs {
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			effects[i].owned = fa.ownedSource(call)
+			fa.evalExpr(r, f, reporting)
+			continue
+		}
+		if obj := fa.trackedIdent(r); obj != nil {
+			if _, tracked := f[obj]; tracked {
+				fa.useCheck(r.Pos(), obj, f, reporting)
+				effects[i].alias = obj
+				continue
+			}
+		}
+		fa.evalExpr(r, f, reporting)
+	}
+	for i, l := range lhs {
+		fa.bindLHS(l, f, reporting, effects[i].owned, effects[i].alias)
+	}
+}
+
+// bindLHS applies one assignment target. owned marks the bound value a
+// freshly acquired reference; alias names a tracked variable whose value is
+// being copied (both sides become untrackable).
+func (fa *funcAnalysis) bindLHS(l ast.Expr, f fact, reporting bool, owned bool, alias types.Object) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok {
+		// Storing into a field, slice, map, or dereference: the stored
+		// reference escapes; the target expression's bases are uses.
+		fa.evalExpr(l, f, reporting)
+		if alias != nil {
+			f[alias] |= stEscaped
+		}
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	obj := fa.info.Defs[id]
+	if obj == nil {
+		obj = fa.info.Uses[id]
+	}
+	if obj == nil || !trackedType(obj.Type()) {
+		return
+	}
+	old, hadOld := f[obj]
+	if hadOld && reporting &&
+		old&stLive != 0 && old&(stReleased|stMoved|stDeferred|stEscaped|stBorrowed) == 0 {
+		fa.reportf(id.Pos(), "%s is overwritten while still holding a pooled reference (leaked)", obj.Name())
+	}
+	keepDeferred := old & stDeferred // a deferred closure releases the final value
+	switch {
+	case owned:
+		f[obj] = stLive | keepDeferred
+	case alias != nil:
+		// Two variables now hold the same reference; per-variable tracking
+		// cannot attribute the single release obligation, so both escape.
+		f[alias] |= stEscaped
+		f[obj] = stEscaped
+	default:
+		if keepDeferred != 0 {
+			f[obj] = keepDeferred
+		} else {
+			delete(f, obj)
+		}
+	}
+}
+
+// ownedSource reports whether call yields a reference the caller owns:
+// bufpool Pool.Get, or a same-package callee annotated //slimio:owns return.
+func (fa *funcAnalysis) ownedSource(call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+		if tv, ok := fa.info.Types[sel.X]; ok {
+			if pkg, name := analysis.NamedTypePath(tv.Type); pkg == bufpoolPath && name == "Pool" {
+				return true
+			}
+		}
+	}
+	return fa.calleeAnnot(call).ownsName("return")
+}
+
+// recordObligation notes a reference origin the exit check must see dead.
+// Called from the syntactic pre-scan (deterministic, runs once).
+func (fa *funcAnalysis) recordObligation(obj types.Object, pos token.Pos) {
+	if _, ok := fa.obligated[obj]; !ok {
+		fa.obligated[obj] = pos
+	}
+}
+
+// scanAcquire records obligations for tracked identifiers assigned from an
+// owned source (pool.Get or an //slimio:owns return callee).
+func (fa *funcAnalysis) scanAcquire(lhs, rhs []ast.Expr) {
+	ownedAt := func(i int) bool {
+		var r ast.Expr
+		switch {
+		case len(rhs) == 1:
+			r = rhs[0] // covers s, err := f() too
+		case i < len(rhs):
+			r = rhs[i]
+		default:
+			return false
+		}
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		return ok && fa.ownedSource(call)
+	}
+	for i, l := range lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := fa.info.Defs[id]
+		if obj == nil {
+			obj = fa.info.Uses[id]
+		}
+		if obj == nil || !trackedType(obj.Type()) {
+			continue
+		}
+		if ownedAt(i) {
+			fa.recordObligation(obj, id.Pos())
+		}
+	}
+}
+
+// calleeAnnot resolves the annotation set of a call's target through
+// go/types (nil for cross-package or unannotated callees).
+func (fa *funcAnalysis) calleeAnnot(call *ast.CallExpr) *annot {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = fa.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = fa.info.Uses[fun.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fa.annots[fn]
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function's type object, if any.
+func (fa *funcAnalysis) calleeFunc(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = fa.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = fa.info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// trackedIdent resolves e to a tracked-type identifier's object (nil
+// otherwise).
+func (fa *funcAnalysis) trackedIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := fa.info.Uses[id]
+	if obj == nil {
+		obj = fa.info.Defs[id]
+	}
+	if obj == nil || !trackedType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// useCheck reports a read of obj on a path where its reference is already
+// gone.
+func (fa *funcAnalysis) useCheck(pos token.Pos, obj types.Object, f fact, reporting bool) {
+	if !reporting {
+		return
+	}
+	s := f[obj]
+	if s&stEscaped != 0 {
+		return
+	}
+	if s&stReleased != 0 {
+		fa.reportf(pos, "use of %s after Release: the pool may already have recycled its backing bytes", obj.Name())
+	} else if s&stMoved != 0 {
+		fa.reportf(pos, "use of %s after its ownership was transferred", obj.Name())
+	}
+}
+
+// release applies x.Release()/x.ReleaseAt(...) to obj.
+func (fa *funcAnalysis) release(pos token.Pos, obj types.Object, f fact, reporting, deferred bool) {
+	s, tracked := f[obj]
+	if !tracked || s&stEscaped != 0 {
+		return
+	}
+	if reporting {
+		switch {
+		case s&stReleased != 0:
+			fa.reportf(pos, "possible double Release of %s (already released on a path reaching here)", obj.Name())
+		case s&stDeferred != 0:
+			fa.reportf(pos, "Release of %s is already scheduled by a deferred Release", obj.Name())
+		case s&stMoved != 0:
+			fa.reportf(pos, "Release of %s after its ownership was transferred", obj.Name())
+		case s&stBorrowed != 0:
+			fa.reportf(pos, "Release of %s, which this function only borrows (//slimio:borrows)", obj.Name())
+		}
+	}
+	if deferred {
+		f[obj] = s&^stLive | stDeferred
+	} else {
+		f[obj] = s&^(stLive|stBorrowed) | stReleased
+	}
+}
+
+// isReleaseName matches the pool's release entry points.
+func isReleaseName(name string) bool { return name == "Release" || name == "ReleaseAt" }
+
+// evalExpr walks an expression, applying use checks and call effects.
+func (fa *funcAnalysis) evalExpr(e ast.Expr, f fact, reporting bool) {
+	switch e := e.(type) {
+	case nil:
+		return
+
+	case *ast.Ident:
+		if obj := fa.trackedIdent(e); obj != nil {
+			if _, tracked := f[obj]; tracked {
+				fa.useCheck(e.Pos(), obj, f, reporting)
+			}
+		}
+
+	case *ast.CallExpr:
+		fa.evalCall(e, f, reporting)
+
+	case *ast.SelectorExpr:
+		fa.evalExpr(e.X, f, reporting)
+
+	case *ast.FuncLit:
+		// Closures are separate analysis units; captured refs escape.
+		fa.escapeAll(e, f)
+
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if obj := fa.trackedIdent(e.X); obj != nil {
+				f[obj] |= stEscaped
+				return
+			}
+		}
+		fa.evalExpr(e.X, f, reporting)
+
+	case *ast.BinaryExpr:
+		// Nil comparisons of a released ref are harmless bookkeeping, not
+		// byte access — exempt tracked idents from the use check there.
+		exempt := e.Op == token.EQL || e.Op == token.NEQ
+		for _, op := range []ast.Expr{e.X, e.Y} {
+			if exempt && fa.trackedIdent(op) != nil {
+				continue
+			}
+			fa.evalExpr(op, f, reporting)
+		}
+
+	case *ast.CompositeLit:
+		// A ref stored into a composite (bufpool.Ref{Seg: s}, []*Segment{s})
+		// escapes per-variable tracking.
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if obj := fa.trackedIdent(v); obj != nil {
+				f[obj] |= stEscaped
+				continue
+			}
+			fa.evalExpr(v, f, reporting)
+		}
+
+	case *ast.ParenExpr:
+		fa.evalExpr(e.X, f, reporting)
+	case *ast.StarExpr:
+		fa.evalExpr(e.X, f, reporting)
+	case *ast.IndexExpr:
+		fa.evalExpr(e.X, f, reporting)
+		fa.evalExpr(e.Index, f, reporting)
+	case *ast.IndexListExpr:
+		fa.evalExpr(e.X, f, reporting)
+		for _, idx := range e.Indices {
+			fa.evalExpr(idx, f, reporting)
+		}
+	case *ast.SliceExpr:
+		fa.evalExpr(e.X, f, reporting)
+		fa.evalExpr(e.Low, f, reporting)
+		fa.evalExpr(e.High, f, reporting)
+		fa.evalExpr(e.Max, f, reporting)
+	case *ast.TypeAssertExpr:
+		fa.evalExpr(e.X, f, reporting)
+	case *ast.KeyValueExpr:
+		fa.evalExpr(e.Key, f, reporting)
+		fa.evalExpr(e.Value, f, reporting)
+	}
+}
+
+// evalCall applies a call's effects: built-in bufpool lifecycle methods on a
+// tracked receiver, annotated same-package ownership transfer on arguments,
+// and conservative escape for everything else.
+func (fa *funcAnalysis) evalCall(call *ast.CallExpr, f fact, reporting bool) {
+	// Lifecycle method on a tracked local: x.Release(), x.ReleaseAt(t),
+	// x.Retain().
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := fa.trackedIdent(sel.X); obj != nil {
+			if _, tracked := f[obj]; tracked {
+				switch {
+				case isReleaseName(sel.Sel.Name):
+					for _, a := range call.Args {
+						fa.evalExpr(a, f, reporting)
+					}
+					fa.release(sel.Pos(), obj, f, reporting, false)
+					return
+				case sel.Sel.Name == "Retain":
+					fa.useCheck(sel.Pos(), obj, f, reporting)
+					return
+				default:
+					// Any other method on a tracked receiver (Bytes, Span,
+					// AppendTo, ...) reads the backing bytes: a use. The
+					// tracked types' method sets are known not to stash
+					// their receiver, so the ref does not escape. A
+					// same-package method annotated to consume its receiver
+					// transfers ownership instead.
+					fa.useCheck(sel.Pos(), obj, f, reporting)
+					fn := fa.calleeFunc(call)
+					an := fa.calleeAnnot(call)
+					if fn != nil && an != nil {
+						if recvName := recvParamName(fn); recvName != "" && an.ownsName(recvName) {
+							f[obj] = f[obj]&^stLive | stMoved
+						}
+					}
+					for i, a := range call.Args {
+						fa.evalArg(a, an, paramName(fn, i), f, reporting)
+					}
+					return
+				}
+			}
+		}
+	}
+
+	an := fa.calleeAnnot(call)
+	fn := fa.calleeFunc(call)
+	fa.evalExpr(call.Fun, f, reporting)
+	for i, arg := range call.Args {
+		fa.evalArg(arg, an, paramName(fn, i), f, reporting)
+	}
+}
+
+// evalArg applies one call argument: owns-annotated parameters consume the
+// reference, borrows-annotated ones only read it, anything else makes a
+// tracked reference escape.
+func (fa *funcAnalysis) evalArg(arg ast.Expr, an *annot, param string, f fact, reporting bool) {
+	obj := fa.trackedIdent(arg)
+	if obj == nil {
+		fa.evalExpr(arg, f, reporting)
+		return
+	}
+	s, tracked := f[obj]
+	if !tracked {
+		return
+	}
+	fa.useCheck(arg.Pos(), obj, f, reporting)
+	switch {
+	case an.ownsName(param):
+		f[obj] = s&^stLive | stMoved
+	case an.borrowsName(param):
+		// Callee only reads; the caller's obligation is unchanged.
+	default:
+		f[obj] = s | stEscaped
+	}
+}
+
+// paramName resolves the name of fn's i'th parameter (variadic-aware).
+func paramName(fn *types.Func, i int) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return ""
+	}
+	if i >= sig.Params().Len() {
+		if sig.Variadic() {
+			i = sig.Params().Len() - 1
+		} else {
+			return ""
+		}
+	}
+	return sig.Params().At(i).Name()
+}
+
+// recvParamName resolves fn's receiver name.
+func recvParamName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return sig.Recv().Name()
+}
+
+// deferStmt handles the defer forms the data plane uses: a direct deferred
+// Release, a deferred closure releasing captured refs, and deferred calls
+// into annotated callees. Anything else makes its tracked arguments escape.
+func (fa *funcAnalysis) deferStmt(n *ast.DeferStmt, f fact, reporting bool) {
+	call := n.Call
+
+	// defer x.Release() / defer x.ReleaseAt(t)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isReleaseName(sel.Sel.Name) {
+		if obj := fa.trackedIdent(sel.X); obj != nil {
+			if _, tracked := f[obj]; tracked {
+				for _, a := range call.Args {
+					fa.evalExpr(a, f, reporting)
+				}
+				fa.release(sel.Pos(), obj, f, reporting, true)
+				return
+			}
+		}
+	}
+
+	// defer func() { ...; x.Release(); ... }()
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		released := map[types.Object]token.Pos{}
+		other := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && isReleaseName(sel.Sel.Name) {
+					if obj := fa.trackedIdent(sel.X); obj != nil {
+						if _, seen := released[obj]; !seen {
+							released[obj] = sel.Pos()
+						}
+						for _, a := range m.Args {
+							ast.Inspect(a, fa.markOther(other, f))
+						}
+						return false
+					}
+				}
+			case *ast.Ident:
+				fa.markOther(other, f)(m)
+			}
+			return true
+		})
+		objs := make([]types.Object, 0, len(released))
+		for o := range released {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(i, j int) bool { return released[objs[i]] < released[objs[j]] })
+		for _, o := range objs {
+			fa.release(released[o], o, f, reporting, true)
+		}
+		for o := range other {
+			if _, wasReleased := released[o]; !wasReleased {
+				f[o] |= stEscaped
+			}
+		}
+		return
+	}
+
+	// defer f(x): annotated callees apply at exit; owns means the callee
+	// will release, so the obligation is met (deferred), borrows changes
+	// nothing, anything else escapes.
+	an := fa.calleeAnnot(call)
+	fn := fa.calleeFunc(call)
+	fa.evalExpr(call.Fun, f, reporting)
+	for i, arg := range call.Args {
+		obj := fa.trackedIdent(arg)
+		if obj == nil {
+			fa.evalExpr(arg, f, reporting)
+			continue
+		}
+		s, tracked := f[obj]
+		if !tracked {
+			continue
+		}
+		switch {
+		case an.ownsName(paramName(fn, i)):
+			f[obj] = s&^stLive | stDeferred
+		case an.borrowsName(paramName(fn, i)):
+			// read-only at exit
+		default:
+			f[obj] = s | stEscaped
+		}
+	}
+}
+
+// markOther returns an inspector marking tracked identifier references.
+func (fa *funcAnalysis) markOther(other map[types.Object]bool, f fact) func(ast.Node) bool {
+	return func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := fa.trackedIdent(id); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					other[obj] = true
+				}
+			}
+		}
+		return true
+	}
+}
+
+// escapeAll ends tracking for every tracked variable referenced under n.
+func (fa *funcAnalysis) escapeAll(n ast.Node, f fact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := fa.trackedIdent(id); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					f[obj] |= stEscaped
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package refflow_test
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/analysis/analysistest"
+	"github.com/slimio/slimio/internal/analysis/refflow"
+)
+
+func TestRefflow(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/a", refflow.Analyzer)
+}

@@ -1,0 +1,171 @@
+// Fixtures for the refflow pass: pooled references that may leak at
+// function exit, double releases, and uses after release all fire; the
+// disciplined shapes the data plane actually uses (defer, ownership
+// handoff, conservative escape) stay quiet.
+package a
+
+import "github.com/slimio/slimio/internal/bufpool"
+
+// --- leaks -----------------------------------------------------------------
+
+func leak(p *bufpool.Pool) {
+	s := p.Get() // want `s holds a pooled reference that may reach function exit without Release or ownership transfer`
+	_ = s.Bytes()
+}
+
+func leakOnOneBranch(p *bufpool.Pool, c bool) {
+	s := p.Get() // want `s holds a pooled reference that may reach function exit`
+	if c {
+		s.Release()
+	}
+}
+
+func leakFromAnnotatedSource(p *bufpool.Pool) {
+	s := acquire(p) // want `s holds a pooled reference that may reach function exit`
+	_ = s.Bytes()
+}
+
+func overwriteWhileLive(p *bufpool.Pool) {
+	s := p.Get()
+	s = p.Get() // want `s is overwritten while still holding a pooled reference`
+	s.Release()
+}
+
+// --- double release --------------------------------------------------------
+
+func doubleRelease(p *bufpool.Pool) {
+	s := p.Get()
+	s.Release()
+	s.Release() // want `possible double Release of s`
+}
+
+func doubleReleaseOnPath(p *bufpool.Pool, c bool) {
+	s := p.Get()
+	if c {
+		s.Release()
+	}
+	s.Release() // want `possible double Release of s`
+}
+
+func releaseInLoop(p *bufpool.Pool, n int) {
+	s := p.Get() // want `s holds a pooled reference that may reach function exit`
+	for i := 0; i < n; i++ {
+		s.Release() // want `possible double Release of s`
+	}
+}
+
+func releaseAfterDefer(p *bufpool.Pool) {
+	s := p.Get()
+	defer s.Release()
+	s.Release() // want `Release of s is already scheduled by a deferred Release`
+}
+
+func releaseAfterMove(p *bufpool.Pool) {
+	s := p.Get()
+	consume(s)
+	s.Release() // want `Release of s after its ownership was transferred`
+}
+
+// --- use after release -----------------------------------------------------
+
+func useAfterRelease(p *bufpool.Pool) []byte {
+	s := p.Get()
+	s.Release()
+	return s.Bytes() // want `use of s after Release`
+}
+
+func useAfterReleaseAt(p *bufpool.Pool) []byte {
+	s := p.Get()
+	s.ReleaseAt(10)  // quarantine is still a release for the holder
+	return s.Bytes() // want `use of s after Release`
+}
+
+func useAfterReleaseOnPath(p *bufpool.Pool, c bool) byte {
+	s := p.Get()
+	if c {
+		s.Release()
+	} else {
+		consume(s)
+	}
+	return s.Bytes()[0] // want `use of s after Release`
+}
+
+func useArgAfterRelease(p *bufpool.Pool) {
+	s := p.Get()
+	s.Release()
+	consume(s) // want `use of s after Release`
+}
+
+func useAfterMove(p *bufpool.Pool) {
+	s := p.Get()
+	consume(s)
+	_ = s.Bytes() // want `use of s after its ownership was transferred`
+}
+
+// --- clean shapes ----------------------------------------------------------
+
+func goodReleaseBothBranches(p *bufpool.Pool, c bool) {
+	s := p.Get()
+	if c {
+		s.Release()
+		return
+	}
+	s.Release()
+}
+
+func goodDeferredRelease(p *bufpool.Pool) byte {
+	s := p.Get()
+	defer s.Release()
+	return s.Bytes()[0]
+}
+
+func goodDeferredClosure(p, q *bufpool.Pool) {
+	a := p.Get()
+	b := q.Get()
+	defer func() {
+		a.Release()
+		b.Release()
+	}()
+	_ = a.Bytes()
+	_ = b.Bytes()
+}
+
+func goodHandoff(p *bufpool.Pool) {
+	s := acquire(p)
+	consume(s)
+}
+
+func goodBorrowedUse(p *bufpool.Pool) byte {
+	s := p.Get()
+	defer s.Release()
+	return peek(s)
+}
+
+func goodReturnTransfers(p *bufpool.Pool) *bufpool.Segment {
+	s := p.Get()
+	return s
+}
+
+func goodNilCheckAfterRelease(p *bufpool.Pool) bool {
+	s := p.Get()
+	s.Release()
+	return s == nil // bookkeeping, not a byte access
+}
+
+type holder struct{ s *bufpool.Segment }
+
+func goodEscapeToStore(p *bufpool.Pool, h *holder) {
+	s := p.Get()
+	h.s = s // conservative: stored refs leave per-variable tracking
+}
+
+func goodEscapeToClosure(p *bufpool.Pool) func() {
+	s := p.Get()
+	return func() { s.Release() }
+}
+
+func allowedLeak(p *bufpool.Pool) {
+	//slimio:allow refflow ring registry tracks this reference out of band
+	s := p.Get()
+	_ = s.Bytes()
+}

@@ -1,0 +1,54 @@
+// Annotated ownership seams used by the fixtures in a.go. Living in a
+// second file also exercises multi-file fixture packages: annotations must
+// resolve across files of the same package.
+package a
+
+import "github.com/slimio/slimio/internal/bufpool"
+
+// acquire hands its caller an owned segment; the caller must release it.
+//
+//slimio:owns return
+func acquire(p *bufpool.Pool) *bufpool.Segment {
+	s := p.Get()
+	return s
+}
+
+// consume takes ownership of s and releases it.
+//
+//slimio:owns s
+func consume(s *bufpool.Segment) {
+	s.Release()
+}
+
+// peek reads s without taking a reference; it must not release it.
+//
+//slimio:borrows s
+func peek(s *bufpool.Segment) byte {
+	b := s.Bytes()
+	s.Release() // want `Release of s, which this function only borrows`
+	return b[0]
+}
+
+// consumeLeak takes ownership but forgets to release on one path.
+//
+//slimio:owns s
+func consumeLeak(s *bufpool.Segment, c bool) { // want `s holds a pooled reference that may reach function exit`
+	if c {
+		s.Release()
+	}
+}
+
+// badAnnot names a parameter that does not exist.
+//
+//slimio:owns q
+func badAnnot(s *bufpool.Segment) { // want `names "q", which is not a receiver or parameter of badAnnot`
+	_ = s
+}
+
+// conflicted names s as both owned and borrowed.
+//
+//slimio:owns s
+//slimio:borrows s
+func conflicted(s *bufpool.Segment) { // want `"s" is named by both //slimio:owns and //slimio:borrows`
+	s.Release()
+}

@@ -3,11 +3,15 @@
 package retainbuf
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"github.com/slimio/slimio/internal/analysis"
+	"github.com/slimio/slimio/internal/analysis/cfg"
+	"github.com/slimio/slimio/internal/analysis/dataflow"
 )
 
 // Doc's first line is the summary; the rest is the -explain rationale.
@@ -19,12 +23,15 @@ reference drops, so a slice obtained from Segment.Bytes (or a Ref's B field)
 is valid only while the holder keeps a reference. Code that releases first
 and reads later observes whatever payload the pool's next writer encodes —
 a silent cross-request corruption no test reliably catches, because the
-recycling order depends on the workload. The pass tracks, within one
-function, variables bound to a segment's backing slice and reports any use
-after a Release/ReleaseAt of that segment; direct Bytes()/.B accesses on a
-released local are reported too. Copy the bytes out (AppendTo) or hold a
-Retain for the slice's whole lifetime. Suppress an intentional exception
-with //slimio:allow retainbuf <reason>.`
+recycling order depends on the workload. The pass runs a flow-sensitive
+analysis over the function's control-flow graph: it tracks which locals
+alias a segment's backing slice and which segments may have been released
+on a path reaching each use, so a release on one branch does not poison an
+independent branch, re-assigning the slice variable ends the alias, and a
+release on a loop's back edge is seen by the next iteration's uses. Direct
+Bytes()/.B accesses on a released local are reported too. Copy the bytes
+out (AppendTo) or hold a Retain for the slice's whole lifetime. Suppress an
+intentional exception with //slimio:allow retainbuf <reason>.`
 
 // bufpoolPath anchors the type matching to the real pool package.
 const bufpoolPath = "github.com/slimio/slimio/internal/bufpool"
@@ -39,12 +46,28 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				checkFunc(pass, fn.Body)
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+			for _, lit := range funcLits(fn.Body) {
+				checkFunc(pass, lit.Body)
 			}
 		}
 	}
 	return nil, nil
+}
+
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
 }
 
 // pooledName resolves t to "Segment" or "Ref" when it is (a pointer to) one
@@ -110,82 +133,297 @@ func viewSource(info *types.Info, expr ast.Expr) types.Object {
 	return nil
 }
 
-// checkFunc applies the pass to one function body. The analysis is a
-// source-order heuristic: a use textually after the earliest Release of the
-// segment it aliases is reported. That misses release-in-loop patterns and
-// cross-function escapes, and is exactly as precise as a reviewer reading
-// the function top to bottom — the contract the pass encodes.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	info := pass.TypesInfo
-	released := make(map[types.Object]token.Pos) // pooled local -> earliest Release
-	views := make(map[types.Object]types.Object) // slice local -> pooled local
+// rb is the per-object fact: for a pooled local, whether a Release may have
+// run on a path reaching the point; for a slice local, the set of pooled
+// locals whose backing bytes it may alias.
+type rb struct {
+	released bool
+	sources  map[types.Object]bool
+}
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.DeferStmt:
-			// A deferred Release runs at function exit: the bytes stay valid
-			// for the whole body, so its textual position is not a release
-			// point.
+// fact maps tracked locals to their state; nil is bottom (unreachable).
+// Objects carry an entry only when there is something to say (a released
+// segment, an aliasing slice) — absence means "fresh / not aliasing".
+type fact map[types.Object]rb
+
+type lattice struct{}
+
+func (lattice) Bottom() fact { return nil }
+
+func (lattice) Join(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(fact, len(a)+len(b))
+	for o, s := range a {
+		out[o] = s
+	}
+	for o, s := range b {
+		cur, ok := out[o]
+		if !ok {
+			out[o] = s
+			continue
+		}
+		merged := rb{released: cur.released || s.released}
+		if cur.sources != nil || s.sources != nil {
+			merged.sources = make(map[types.Object]bool, len(cur.sources)+len(s.sources))
+			for k := range cur.sources {
+				merged.sources[k] = true
+			}
+			for k := range s.sources {
+				merged.sources[k] = true
+			}
+		}
+		out[o] = merged
+	}
+	return out
+}
+
+func (lattice) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for o, s := range a {
+		t, ok := b[o]
+		if !ok || s.released != t.released || len(s.sources) != len(t.sources) {
 			return false
-		case *ast.CallExpr:
-			sel, ok := n.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "ReleaseAt") {
-				return true
+		}
+		for k := range s.sources {
+			if !t.sources[k] {
+				return false
 			}
-			if obj, kind := localObj(info, sel.X); kind != "" {
-				if p, ok := released[obj]; !ok || n.Pos() < p {
-					released[obj] = n.Pos()
-				}
-			}
-		case *ast.AssignStmt:
-			if len(n.Lhs) != len(n.Rhs) {
-				return true
-			}
-			for i := range n.Rhs {
-				src := viewSource(info, n.Rhs[i])
-				if src == nil {
+		}
+	}
+	return true
+}
+
+func cloneFact(f fact) fact {
+	out := make(fact, len(f)+2)
+	for o, s := range f {
+		out[o] = s // rb.sources maps are copy-on-write (never mutated in place)
+	}
+	return out
+}
+
+type checker struct {
+	info    *types.Info
+	reports map[string]report
+}
+
+type report struct {
+	pos token.Pos
+	msg string
+}
+
+// checkFunc applies the pass to one function body over its CFG.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{info: pass.TypesInfo, reports: map[string]report{}}
+
+	g := cfg.New(body)
+	transfer := func(b *cfg.Block, in fact) fact {
+		f := cloneFact(in)
+		for _, n := range b.Nodes {
+			c.exec(n, f, false)
+		}
+		return f
+	}
+	res := dataflow.Forward[fact](g, lattice{}, fact{}, transfer)
+
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b != g.Entry {
+			continue
+		}
+		f := cloneFact(in)
+		for _, n := range b.Nodes {
+			c.exec(n, f, true)
+		}
+	}
+
+	keys := make([]report, 0, len(c.reports))
+	for _, r := range c.reports {
+		keys = append(keys, r)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pos != keys[j].pos {
+			return keys[i].pos < keys[j].pos
+		}
+		return keys[i].msg < keys[j].msg
+	})
+	for _, r := range keys {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	c.reports[fmt.Sprintf("%d:%s", pos, msg)] = report{pos, msg}
+}
+
+// exec applies one CFG node. Pure when reporting is false (it runs under
+// the fixpoint solver).
+func (c *checker) exec(n ast.Node, f fact, reporting bool) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// A deferred Release runs at function exit: the bytes stay valid for
+		// the whole body, so it is not a release point. Uses inside the call
+		// are still checked against the state at registration.
+		c.walk(n.Call, f, reporting, false)
+
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			c.walk(n, f, reporting, true)
+			return
+		}
+		c.assign(n.Lhs, n.Rhs, f, reporting)
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
 					continue
 				}
-				if id, ok := n.Lhs[i].(*ast.Ident); ok {
-					if obj, _ := localObj(info, id); obj != nil {
-						views[obj] = src
-					}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				c.assign(lhs, vs.Values, f, reporting)
+			}
+		}
+
+	case *ast.RangeStmt:
+		// Head node: advance the iterator, (re)assign key and value —
+		// a re-assignment kills any alias the variables carried. The body is
+		// wired as blocks; do not descend.
+		c.walk(n.X, f, reporting, true)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj, _ := localObj(c.info, id); obj != nil {
+					delete(f, obj)
 				}
 			}
 		}
-		return true
-	})
-	if len(released) == 0 {
+
+	default:
+		c.walk(n, f, reporting, true)
+	}
+}
+
+// assign handles = and := statements: view bindings are established or
+// killed per left-hand side, right-hand sides are checked for uses, and a
+// re-assigned pooled local starts fresh (unreleased).
+func (c *checker) assign(lhs, rhs []ast.Expr, f fact, reporting bool) {
+	// Right-hand sides first (the old values are what the reads observe).
+	for _, r := range rhs {
+		c.walk(r, f, reporting, true)
+	}
+	paired := len(lhs) == len(rhs)
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			// Field/index targets: check the target expression's reads, keep
+			// tracking unchanged.
+			c.walk(l, f, reporting, true)
+			continue
+		}
+		if id.Name == "_" {
+			continue
+		}
+		obj, kind := localObj(c.info, id)
+		if obj == nil {
+			continue
+		}
+		if kind != "" {
+			// A pooled local bound to a fresh value is not released.
+			delete(f, obj)
+			continue
+		}
+		var src types.Object
+		if paired {
+			src = viewSource(c.info, rhs[i])
+		}
+		if src != nil {
+			f[obj] = rb{sources: map[types.Object]bool{src: true}}
+		} else if _, tracked := f[obj]; tracked {
+			// Re-assignment to anything else ends the alias.
+			delete(f, obj)
+		}
+	}
+}
+
+// walk inspects one atomic node's expression tree: view uses and direct
+// Bytes()/.B accesses are checked against the current fact, and (when
+// markReleases is set) Release/ReleaseAt calls update it.
+func (c *checker) walk(n ast.Node, f fact, reporting, markReleases bool) {
+	if n == nil {
 		return
 	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Literal bodies are separate analysis units with their own CFG.
+			return false
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := m.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "ReleaseAt") {
+				return true
+			}
+			obj, kind := localObj(c.info, sel.X)
+			if obj == nil || kind == "" {
+				return true
+			}
+			if markReleases {
+				cur := f[obj]
+				cur.released = true
+				f[obj] = cur
+			}
+			// The receiver ident is not a slice use; still walk the args.
+			for _, a := range m.Args {
+				c.walk(a, f, reporting, markReleases)
+			}
+			return false
+
 		case *ast.Ident:
-			src, ok := views[info.Uses[n]]
-			if !ok {
+			if !reporting {
 				return true
 			}
-			if rel, ok := released[src]; ok && rel < n.Pos() {
-				pass.Reportf(n.Pos(),
-					"%s aliases the backing slice of %s, which was already released; the pool may have recycled the bytes — copy them out or Retain for the slice's lifetime",
-					n.Name, src.Name())
+			st, ok := f[c.info.Uses[m]]
+			if !ok || len(st.sources) == 0 {
+				return true
 			}
+			srcs := make([]types.Object, 0, len(st.sources))
+			for src := range st.sources {
+				srcs = append(srcs, src)
+			}
+			sort.Slice(srcs, func(i, j int) bool { return srcs[i].Pos() < srcs[j].Pos() })
+			for _, src := range srcs {
+				if f[src].released {
+					c.reportf(m.Pos(),
+						"%s aliases the backing slice of %s, which was already released; the pool may have recycled the bytes — copy them out or Retain for the slice's lifetime",
+						m.Name, src.Name())
+				}
+			}
+
 		case *ast.SelectorExpr:
-			if n.Sel.Name != "Bytes" && n.Sel.Name != "B" {
+			if m.Sel.Name != "Bytes" && m.Sel.Name != "B" {
 				return true
 			}
-			obj, kind := localObj(info, n.X)
+			obj, kind := localObj(c.info, m.X)
 			if kind == "" {
 				return true
 			}
-			if (kind == "Segment") != (n.Sel.Name == "Bytes") {
+			if (kind == "Segment") != (m.Sel.Name == "Bytes") {
 				return true
 			}
-			if rel, ok := released[obj]; ok && rel < n.Pos() {
-				pass.Reportf(n.Pos(),
+			if reporting && f[obj].released {
+				c.reportf(m.Pos(),
 					"%s.%s after %s was released; the pool may have recycled the bytes — copy them out or Retain for the slice's lifetime",
-					obj.Name(), n.Sel.Name, obj.Name())
+					obj.Name(), m.Sel.Name, obj.Name())
 			}
 		}
 		return true

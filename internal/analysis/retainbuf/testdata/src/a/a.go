@@ -61,6 +61,46 @@ func goodDeferredRelease(p *bufpool.Pool) byte {
 	return b[0]
 }
 
+// The alias ends when the slice variable is re-assigned: a use of the new
+// value after Release must not fire (the source-order heuristic this pass
+// replaced reported it).
+func goodReassignedSlice(p *bufpool.Pool) byte {
+	s := p.Get()
+	b := s.Bytes()
+	v := b[0]
+	s.Release()
+	b = []byte{v}
+	return b[0]
+}
+
+// A Release on one branch must not poison a use on the other: the paths are
+// exclusive, so the use never observes recycled bytes.
+func goodBranchIsolatedRelease(p *bufpool.Pool, c bool) byte {
+	s := p.Get()
+	b := s.Bytes()
+	if c {
+		s.Release()
+		return 0
+	}
+	v := b[0]
+	s.Release()
+	return v
+}
+
+// A Release late in a loop body reaches the next iteration's use over the
+// back edge — textual order says the use comes first, the flow says it does
+// not.
+func loopCarriedRelease(p *bufpool.Pool, n int) byte {
+	s := p.Get()
+	b := s.Bytes()
+	var v byte
+	for i := 0; i < n; i++ {
+		v = b[0] // want `b aliases the backing slice of s`
+		s.Release()
+	}
+	return v
+}
+
 func allowed(p *bufpool.Pool) byte {
 	s := p.Get()
 	s.Retain()

@@ -12,6 +12,13 @@
 //   - retainbuf shares that scope (internal/bufpool included): every layer
 //     of the zero-copy write path handles pooled segments, and a backing
 //     slice retained past its Release is silent cross-request corruption.
+//   - refflow proves the bufpool ownership contract flow-sensitively on
+//     the packages that hold or hand off pooled references (wal, uring,
+//     kernelio, ssd, fdp, ftl, nand, snapshot, core, crashmc, exp): a ref
+//     that can leak at function exit, a double Release, or a use after
+//     Release is a finding, with //slimio:owns and //slimio:borrows
+//     declaring transfers across function boundaries (see DESIGN.md
+//     "Statically enforced ownership").
 //   - maporder applies module-wide (tooling included): ordered output must
 //     be a contract everywhere, harness and linter alike.
 //   - floatfold applies where float folds feed published numbers:
@@ -32,6 +39,7 @@ import (
 	"github.com/slimio/slimio/internal/analysis/load"
 	"github.com/slimio/slimio/internal/analysis/maporder"
 	"github.com/slimio/slimio/internal/analysis/rawgoroutine"
+	"github.com/slimio/slimio/internal/analysis/refflow"
 	"github.com/slimio/slimio/internal/analysis/retainbuf"
 	"github.com/slimio/slimio/internal/analysis/wallclock"
 )
@@ -63,12 +71,32 @@ func floatScoped(path string) bool {
 		strings.HasPrefix(path, Module+"/internal/exp")
 }
 
+// refflowDirs are the packages that hold or hand off pooled references:
+// the whole zero-copy write path plus the harnesses that drive it. The
+// analysis tooling itself and the leaf packages that never see a bufpool
+// ref stay out of scope.
+var refflowDirs = []string{
+	"wal", "uring", "kernelio", "ssd", "fdp", "ftl", "nand",
+	"snapshot", "core", "crashmc", "exp",
+}
+
+func refflowScoped(path string) bool {
+	for _, d := range refflowDirs {
+		prefix := Module + "/internal/" + d
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // All is the slimio-vet suite in reporting order.
 var All = []ScopedAnalyzer{
 	{wallclock.Analyzer, deterministic},
 	{globalrand.Analyzer, deterministic},
 	{rawgoroutine.Analyzer, deterministic},
 	{retainbuf.Analyzer, deterministic},
+	{refflow.Analyzer, refflowScoped},
 	{maporder.Analyzer, inModule},
 	{floatfold.Analyzer, floatScoped},
 }
@@ -126,7 +154,7 @@ func RunPackage(pkg *load.Package) ([]analysis.Finding, error) {
 		p := pkg.Fset.Position(d.Pos)
 		findings = append(findings, analysis.Finding{
 			Analyzer: name, Pos: p, File: p.Filename, Line: p.Line, Col: p.Column,
-			Message: d.Message,
+			Offset: p.Offset, Message: d.Message,
 		})
 	}
 	for _, d := range malformed {
@@ -151,15 +179,26 @@ func RunPackage(pkg *load.Package) ([]analysis.Finding, error) {
 			return nil, err
 		}
 	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings deterministically: by file, then byte
+// offset, then reporting pass, then message. Drivers apply the same order
+// to cross-package aggregates so two identical runs emit byte-identical
+// output.
+func SortFindings(findings []analysis.Finding) {
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
 		}
-		return a.Col < b.Col
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
 }

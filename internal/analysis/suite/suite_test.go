@@ -21,16 +21,23 @@ func TestScoping(t *testing.T) {
 		path string
 		want []string
 	}{
-		// Simulation packages get the full determinism contract.
+		// Simulation packages get the full determinism contract; the
+		// zero-copy write path additionally gets refflow.
 		{Module + "/internal/sim", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
-		{Module + "/internal/kernelio", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
+		{Module + "/internal/kernelio", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
+		{Module + "/internal/wal", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
+		{Module + "/internal/nand", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
+		// bufpool implements the contract refflow enforces on its clients;
+		// it keeps the alias pass but not the ownership pass.
+		{Module + "/internal/bufpool", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
 		// The crash-consistency model checker replays schedules
 		// bit-identically, so it must sit under the full determinism
-		// contract like any other simulation package.
-		{Module + "/internal/crashmc", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder"}},
+		// contract like any other simulation package — and it drives the
+		// data plane, so refflow applies too.
+		{Module + "/internal/crashmc", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
 		// Metrics and the experiment harness additionally get floatfold.
 		{Module + "/internal/metrics", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder", "floatfold"}},
-		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder", "floatfold"}},
+		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder", "floatfold"}},
 		// Harness binaries legitimately measure wall time; only ordered
 		// output is policed there.
 		{Module + "/cmd/slimio-bench", []string{"maporder"}},
@@ -50,8 +57,8 @@ func TestScoping(t *testing.T) {
 }
 
 func TestSuiteRegistry(t *testing.T) {
-	if len(All) != 6 {
-		t.Fatalf("suite has %d passes, want 6", len(All))
+	if len(All) != 7 {
+		t.Fatalf("suite has %d passes, want 7", len(All))
 	}
 	known := Known()
 	for _, sa := range All {

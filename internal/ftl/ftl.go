@@ -495,6 +495,8 @@ func (f *FTL) allocMigrate(prefDie int) (nand.PPA, error) {
 
 // migrateProgram programs data onto a fresh page, retiring the destination
 // block and retrying elsewhere on program failure.
+//
+//slimio:borrows data
 func (f *FTL) migrateProgram(now sim.Time, prefDie int, data bufpool.Ref) (nand.PPA, sim.Time, error) {
 	for attempt := 0; attempt <= maxProgramRetries; attempt++ {
 		dst, err := f.allocMigrate(prefDie)
@@ -584,6 +586,8 @@ func (f *FTL) commitTorn(lpa int64, ppa nand.PPA) {
 // stranded valid pages migrate to healthy media, and the write retries on a
 // fresh page — the host never sees the media failure, mirroring how real
 // FTLs hide grown bad blocks.
+//
+//slimio:borrows data
 func (f *FTL) Write(now sim.Time, lpa int64, data bufpool.Ref, pid uint32) (done sim.Time, err error) {
 	_ = pid
 	if err := f.checkLPA(lpa); err != nil {

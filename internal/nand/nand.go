@@ -442,6 +442,8 @@ func (a *Array) Read(now sim.Time, ppa PPA) (data []byte, done sim.Time, err err
 // any reference exists — the wal chain's append-only discipline. A borrowed
 // ref (data.Seg == nil) is copied into a pool segment, so one-shot callers
 // (metadata records, preconditioning) need no pool plumbing.
+//
+//slimio:borrows data
 func (a *Array) Program(now sim.Time, ppa PPA, data bufpool.Ref) (done sim.Time, err error) {
 	if err := a.checkPPA(ppa); err != nil {
 		return now, err
