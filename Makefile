@@ -1,7 +1,7 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
 PR ?= 3
 
-.PHONY: build test race bench bench-smoke bench-compare trace-smoke check-smoke lint
+.PHONY: build test race bench bench-smoke bench-compare trace-smoke top-smoke check-smoke lint
 
 build:
 	go build ./...
@@ -61,7 +61,21 @@ check-smoke:
 
 # Run a tiny traced cell end to end, export the Chrome trace-event JSON,
 # and validate it against the trace-event schema (used by CI, which also
-# uploads the trace as an artifact).
+# uploads the trace as an artifact). Generated artifacts live in the
+# gitignored out/ directory.
 trace-smoke:
-	go run ./cmd/slimio-bench -exp table3 -scale tiny -vtrace trace-smoke.json
-	go run ./cmd/slimio-inspect -validate trace-smoke.json
+	mkdir -p out
+	go run ./cmd/slimio-bench -exp table3 -scale tiny -vtrace out/trace-smoke.json
+	go run ./cmd/slimio-inspect -validate out/trace-smoke.json
+
+# Run a tiny traced + telemetered table3 end to end, export the telemetry
+# dump (schema-validated by the exporter), and render it with slimio-top in
+# deterministic table mode (ParseDump re-validates on load). An empty render
+# fails the target. Used by CI as a blocking step; the telemetry directory
+# is uploaded as an artifact.
+top-smoke:
+	mkdir -p out
+	go run ./cmd/slimio-bench -exp table3 -scale tiny -vtrace out/top-smoke-trace.json -telemetry out/telemetry
+	go run ./cmd/slimio-top -dump out/telemetry/telemetry.json -mode table > out/top-smoke.txt
+	@test -s out/top-smoke.txt || { echo "top-smoke: empty slimio-top render"; exit 1; }
+	@grep -q "^cell " out/top-smoke.txt || { echo "top-smoke: no cell tables in render"; exit 1; }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
@@ -26,6 +27,7 @@ import (
 	"github.com/slimio/slimio/internal/exp"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/telemetry"
 	"github.com/slimio/slimio/internal/vtrace"
 )
 
@@ -42,6 +44,7 @@ func main() {
 
 		parallel   = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		vtraceOut  = flag.String("vtrace", "", "trace the run and write a Chrome trace-event JSON file (requires a single -exp)")
+		teleDir    = flag.String("telemetry", "", "sample per-layer telemetry and write telemetry.json, metrics.prom, and per-cell CSVs into this directory (requires a single -exp)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall-clock/allocs/throughput records to this JSON file")
 		compare    = flag.String("compare", "", "compare this run's allocator traffic against a committed BENCH_*.json and fail on regression")
 		tolerance  = flag.Float64("tolerance", 0.15, "allowed fractional allocs/alloc_bytes growth before -compare fails")
@@ -133,6 +136,17 @@ func main() {
 		}
 		sc.Trace = vtrace.NewRegistry()
 	}
+	if *teleDir != "" {
+		// Same labelling rule as -vtrace: telemetry cells are per-cell-label.
+		if len(wanted) != 1 || wanted[0] == "all" {
+			fmt.Fprintln(os.Stderr, "-telemetry requires exactly one -exp experiment")
+			os.Exit(2)
+		}
+		sc.Telemetry = telemetry.NewRegistry(0)
+		// Failures mid-run (unrecovered faults, cell panics) dump their
+		// flight rings next to the telemetry artifacts.
+		sc.Telemetry.FlightDir = *teleDir
+	}
 
 	// Per-cell alloc attribution needs serial cells: MemStats deltas are
 	// process-wide, so concurrent cells would bill each other's traffic.
@@ -188,6 +202,12 @@ func main() {
 	printFaultCounters(ctr)
 	if sc.Trace != nil {
 		if err := writeTrace(*vtraceOut, sc.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if sc.Telemetry != nil {
+		if err := writeTelemetry(*teleDir, sc.Telemetry, ctr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -290,6 +310,50 @@ func printFaultCounters(ctr *metrics.Counter) {
 		fmt.Printf("  %-24s %d\n", kv.Key, kv.Value)
 	}
 	fmt.Println()
+}
+
+// writeTelemetry exports the run's telemetry registry into dir: the
+// canonical JSON dump (validated against its own schema before writing, the
+// same trust-but-verify step as writeTrace), an OpenMetrics text snapshot
+// carrying the fault/error counter totals, and one CSV time-series per cell.
+func writeTelemetry(dir string, reg *telemetry.Registry, ctr *metrics.Counter) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := reg.ExportJSON(&buf); err != nil {
+		return fmt.Errorf("export telemetry: %w", err)
+	}
+	if err := telemetry.ValidateDump(buf.Bytes()); err != nil {
+		return fmt.Errorf("exported telemetry failed validation: %w", err)
+	}
+	dumpPath := filepath.Join(dir, "telemetry.json")
+	if err := os.WriteFile(dumpPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	var prom bytes.Buffer
+	if err := reg.ExportOpenMetrics(&prom, ctr.Sorted()); err != nil {
+		return fmt.Errorf("export openmetrics: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.prom"), prom.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	dump := reg.Snapshot()
+	for i := range dump.Cells {
+		c := &dump.Cells[i]
+		var csv bytes.Buffer
+		if err := c.CSV(&csv); err != nil {
+			return err
+		}
+		name := telemetry.SanitizeLabel(c.Label) + ".csv"
+		if err := os.WriteFile(filepath.Join(dir, name), csv.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s (%d bytes, %d cells)\n", dumpPath, buf.Len(), len(dump.Cells))
+	return nil
 }
 
 // writeTrace exports the run's span registry as Chrome trace-event JSON,

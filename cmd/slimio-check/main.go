@@ -36,6 +36,7 @@ func main() {
 		out     = flag.String("out", "slimio-check-repro.json", "where to write the shrunk repro on violation")
 		repro   = flag.String("repro", "", "replay this repro file instead of checking")
 		mutate  = flag.Bool("mutate", false, "self-test: inject an ack-without-sync bug and require the checker to catch it")
+		flight  = flag.String("flight", "", "record telemetry on every replay and dump a flight-recorder JSON into this directory when a cut violates the oracle")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 			Budget:      *budget,
 			StopAtFirst: *mutate,
 			Metrics:     ctr,
+			FlightDir:   *flight,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

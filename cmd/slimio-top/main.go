@@ -1,0 +1,87 @@
+// Command slimio-top replays a telemetry dump (slimio-bench -telemetry) as
+// a state dashboard: what every layer of every cell was doing, tick by
+// virtual tick — live write amplification, GC copy traffic, reclaim-unit
+// headroom, writeback and ring queue depths, WAL-buffer fill, pooled-buffer
+// in-flight counts.
+//
+// Usage:
+//
+//	slimio-top -dump out/telemetry.json               # plain table (CI mode)
+//	slimio-top -dump out/telemetry.json -mode live    # terminal dashboard
+//	slimio-top -dump out/telemetry.json -cell slimio-fdp/always
+//
+// Table mode is deterministic (integer arithmetic, no wall clock, no ANSI)
+// and is what `make top-smoke` gates on; live mode animates the same rows
+// in place for humans.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/slimio/slimio/internal/telemetry"
+)
+
+func main() {
+	var (
+		dumpPath = flag.String("dump", "", "telemetry dump to render (required)")
+		mode     = flag.String("mode", "table", "render mode: table (plain text) or live (animated dashboard)")
+		cellSel  = flag.String("cell", "", "render only this cell label (default: all cells)")
+		rows     = flag.Int("rows", 12, "table mode: max sample rows per cell (evenly spaced)")
+		refresh  = flag.Duration("refresh", 80*time.Millisecond, "live mode: wall-clock time per tick frame")
+	)
+	flag.Parse()
+
+	if *dumpPath == "" {
+		fmt.Fprintln(os.Stderr, "slimio-top: -dump is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*dumpPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dump, err := telemetry.ParseDump(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cells := dump.Cells
+	if *cellSel != "" {
+		cells = nil
+		for _, c := range dump.Cells {
+			if c.Label == *cellSel {
+				cells = append(cells, c)
+			}
+		}
+		if len(cells) == 0 {
+			fmt.Fprintf(os.Stderr, "slimio-top: no cell %q in %s (have: %s)\n",
+				*cellSel, *dumpPath, strings.Join(labels(dump.Cells), ", "))
+			os.Exit(1)
+		}
+	}
+
+	switch *mode {
+	case "table":
+		w := bufio.NewWriter(os.Stdout)
+		renderTables(w, dump.IntervalNS, cells, *rows)
+		w.Flush()
+	case "live":
+		renderLive(dump.IntervalNS, cells, *refresh)
+	default:
+		fmt.Fprintf(os.Stderr, "slimio-top: unknown -mode %q (want table or live)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func labels(cells []telemetry.CellDump) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = c.Label
+	}
+	return out
+}

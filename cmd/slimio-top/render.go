@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/slimio/slimio/internal/telemetry"
+)
+
+// column is one dashboard column: a header and how to read it from a sample
+// row. Columns whose gauges a cell does not export render as "-" — the
+// kernel path has no rings, the SlimIO path has no dirty pages, and the
+// dashboard shows both side by side.
+type column struct {
+	header string
+	// value returns the rendered cell for sample row k, or "" when the
+	// backing gauges are absent.
+	value func(v *cellView, k int) string
+}
+
+// cellView pre-resolves the column indices of one cell so row rendering is
+// a flat array walk.
+type cellView struct {
+	c   *telemetry.CellDump
+	idx map[string]int
+}
+
+func newCellView(c *telemetry.CellDump) *cellView {
+	v := &cellView{c: c, idx: make(map[string]int, len(c.Names))}
+	for i, n := range c.Names {
+		v.idx[n] = i
+	}
+	return v
+}
+
+// at returns gauge name's value at sample row k.
+func (v *cellView) at(name string, k int) (int64, bool) {
+	i, ok := v.idx[name]
+	if !ok || k < 0 || k >= len(v.c.Samples) {
+		return 0, false
+	}
+	return v.c.Samples[k].V[i], true
+}
+
+// gaugeCol renders one gauge verbatim.
+func gaugeCol(header, name string) column {
+	return column{header: header, value: func(v *cellView, k int) string {
+		n, ok := v.at(name, k)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("%d", n)
+	}}
+}
+
+// bytesCol renders one byte-valued gauge human-readably (KiB/MiB).
+func bytesCol(header, name string) column {
+	return column{header: header, value: func(v *cellView, k int) string {
+		n, ok := v.at(name, k)
+		if !ok {
+			return ""
+		}
+		return fmtBytes(n)
+	}}
+}
+
+// wafCol computes the live write-amplification factor at row k from the
+// cumulative FTL page counters, in integer hundredths (1.00 when the device
+// has not written yet).
+func wafCol() column {
+	return column{header: "waf", value: func(v *cellView, k int) string {
+		host, ok1 := v.at("ftl.host_write_pages", k)
+		nand, ok2 := v.at("ftl.nand_write_pages", k)
+		if !ok1 || !ok2 {
+			return ""
+		}
+		x100 := int64(100)
+		if host > 0 {
+			x100 = (nand*100 + host/2) / host
+		}
+		return fmt.Sprintf("%d.%02d", x100/100, x100%100)
+	}}
+}
+
+// dashboard is the column set of both render modes, in display order.
+var dashboard = []column{
+	wafCol(),
+	gaugeCol("gc_cp", "ftl.gc_copied_pages"),
+	gaugeCol("rus", "fdp.free_rus"),
+	gaugeCol("dirty", "kernelio.dirty_pages"),
+	gaugeCol("wb_q", "kernelio.wb_inflight"),
+	gaugeCol("sq", "uring.wal.sq_depth"),
+	gaugeCol("cq", "uring.wal.cq_depth"),
+	gaugeCol("pool", "bufpool.inflight"),
+	bytesCol("walbuf", "imdb.wal_buf_bytes"),
+	bytesCol("mem", "imdb.memory_bytes"),
+}
+
+// renderTables prints each cell as a plain-text table of evenly spaced
+// sample rows — integer arithmetic and stable formatting only, so CI can
+// diff the output.
+func renderTables(w io.Writer, intervalNS int64, cells []telemetry.CellDump, maxRows int) {
+	for i := range cells {
+		c := &cells[i]
+		v := newCellView(c)
+		fmt.Fprintf(w, "cell %s  (interval %s, %d samples, %d gauges)\n",
+			c.Label, fmtNS(intervalNS), len(c.Samples), len(c.Names))
+		fmt.Fprintf(w, "%10s", "t")
+		for _, col := range dashboard {
+			fmt.Fprintf(w, " %8s", col.header)
+		}
+		fmt.Fprintln(w)
+		for _, k := range spacedRows(len(c.Samples), maxRows) {
+			fmt.Fprintf(w, "%10s", fmtNS(int64(c.Samples[k].T)))
+			for _, col := range dashboard {
+				s := col.value(v, k)
+				if s == "" {
+					s = "-"
+				}
+				fmt.Fprintf(w, " %8s", s)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, h := range c.Hists {
+			fmt.Fprintf(w, "  hist %-24s n=%d min=%d p50=%d p90=%d p99=%d max=%d\n",
+				h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.Max)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// renderLive animates the same rows in place: one frame per tick, every
+// cell a line, redrawn with ANSI cursor-home. Wall-clock pacing is the
+// point here — this is the human mode, exempt from the determinism rules
+// that govern table mode.
+func renderLive(intervalNS int64, cells []telemetry.CellDump, refresh time.Duration) {
+	views := make([]*cellView, len(cells))
+	ticks := 0
+	for i := range cells {
+		views[i] = newCellView(&cells[i])
+		if n := len(cells[i].Samples); n > ticks {
+			ticks = n
+		}
+	}
+	for k := 0; k < ticks; k++ {
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Printf("slimio-top  t=%s  (tick %d/%d)\n\n", fmtNS(int64(k)*intervalNS), k+1, ticks)
+		fmt.Printf("%-32s", "cell")
+		for _, col := range dashboard {
+			fmt.Printf(" %8s", col.header)
+		}
+		fmt.Println()
+		for i := range cells {
+			c := &cells[i]
+			row := k
+			if row >= len(c.Samples) {
+				row = len(c.Samples) - 1 // shorter cell: hold its final state
+			}
+			fmt.Printf("%-32s", c.Label)
+			for _, col := range dashboard {
+				s := ""
+				if row >= 0 {
+					s = col.value(views[i], row)
+				}
+				if s == "" {
+					s = "-"
+				}
+				fmt.Printf(" %8s", s)
+			}
+			fmt.Println()
+		}
+		time.Sleep(refresh) //slimio:allow wallclock live dashboard pacing is the feature, not simulation state
+	}
+	fmt.Fprintln(os.Stdout)
+}
+
+// spacedRows picks up to maxRows indices of n, evenly spaced, always
+// including the first and last sample.
+func spacedRows(n, maxRows int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if maxRows < 2 {
+		maxRows = 2
+	}
+	if n <= maxRows {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, maxRows)
+	for i := 0; i < maxRows; i++ {
+		out = append(out, i*(n-1)/(maxRows-1))
+	}
+	// Spacing can duplicate neighbours at small n; keep strictly increasing.
+	uniq := out[:1]
+	for _, k := range out[1:] {
+		if k > uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq
+}
+
+// fmtNS renders virtual nanoseconds compactly (µs/ms/s granularity).
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9 && ns%1e9 == 0:
+		return fmt.Sprintf("%ds", ns/1e9)
+	case ns >= 1e6 && ns%1e6 == 0:
+		return fmt.Sprintf("%dms", ns/1e6)
+	case ns >= 1e3 && ns%1e3 == 0:
+		return fmt.Sprintf("%dus", ns/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// fmtBytes renders byte counts compactly with integer arithmetic.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -8,7 +8,11 @@
 //     the crash-consistency model checker (internal/crashmc), whose
 //     replay-bit-identically contract depends on exactly these passes: the
 //     experiment harness binaries under cmd/ legitimately measure wall
-//     time and never run inside the simulation.
+//     time and never run inside the simulation. cmd/slimio-top is the one
+//     exception: its table mode renders CI-diffed deterministic output
+//     from telemetry dumps, so it opts in (internal/telemetry itself is
+//     covered as an internal/ package — its sampling tick rides the
+//     virtual clock).
 //   - retainbuf shares that scope (internal/bufpool included): every layer
 //     of the zero-copy write path handles pooled segments, and a backing
 //     slice retained past its Release is silent cross-request corruption.
@@ -18,7 +22,9 @@
 //     that can leak at function exit, a double Release, or a use after
 //     Release is a finding, with //slimio:owns and //slimio:borrows
 //     declaring transfers across function boundaries (see DESIGN.md
-//     "Statically enforced ownership").
+//     "Statically enforced ownership"). The telemetry plane (whose probes
+//     read gauges off that same write path) and the slimio-top renderer
+//     share the scope.
 //   - maporder applies module-wide (tooling included): ordered output must
 //     be a contract everywhere, harness and linter alike.
 //   - floatfold applies where float folds feed published numbers:
@@ -55,6 +61,13 @@ type ScopedAnalyzer struct {
 }
 
 func deterministic(path string) bool {
+	// slimio-top is the one binary under cmd/ inside the contract: its
+	// table mode is CI-diffed deterministic output, so it obeys the same
+	// clock/randomness/ordering rules as the simulation packages (live
+	// mode's wall-clock pacing carries an explicit //slimio:allow).
+	if path == Module+"/cmd/slimio-top" {
+		return true
+	}
 	if !strings.HasPrefix(path, Module+"/internal/") {
 		return false
 	}
@@ -77,10 +90,15 @@ func floatScoped(path string) bool {
 // ref stay out of scope.
 var refflowDirs = []string{
 	"wal", "uring", "kernelio", "ssd", "fdp", "ftl", "nand",
-	"snapshot", "core", "crashmc", "exp",
+	"snapshot", "core", "crashmc", "exp", "telemetry",
 }
 
 func refflowScoped(path string) bool {
+	// The dashboard renders data the probes pulled off the write path; it
+	// must never be the place a pooled ref quietly escapes to.
+	if path == Module+"/cmd/slimio-top" {
+		return true
+	}
 	for _, d := range refflowDirs {
 		prefix := Module + "/internal/" + d
 		if path == prefix || strings.HasPrefix(path, prefix+"/") {

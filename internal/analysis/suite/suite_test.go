@@ -38,6 +38,14 @@ func TestScoping(t *testing.T) {
 		// Metrics and the experiment harness additionally get floatfold.
 		{Module + "/internal/metrics", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "maporder", "floatfold"}},
 		{Module + "/internal/exp", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder", "floatfold"}},
+		// The telemetry plane samples on the virtual clock inside cell
+		// engines: full determinism contract, plus refflow because its
+		// probes read gauges off the zero-copy write path.
+		{Module + "/internal/telemetry", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
+		// slimio-top's table mode is CI-diffed deterministic output: the
+		// one cmd/ binary inside the contract (live mode carries an
+		// explicit wallclock allow).
+		{Module + "/cmd/slimio-top", []string{"wallclock", "globalrand", "rawgoroutine", "retainbuf", "refflow", "maporder"}},
 		// Harness binaries legitimately measure wall time; only ordered
 		// output is policed there.
 		{Module + "/cmd/slimio-bench", []string{"maporder"}},

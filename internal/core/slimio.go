@@ -117,6 +117,16 @@ func (b *Backend) Device() *ssd.Device { return b.dev }
 // WALRing exposes the WAL-Path ring (for stats).
 func (b *Backend) WALRing() *uring.Ring { return b.walRing }
 
+// SnapshotRing exposes the most recent Snapshot-Path ring, or nil when no
+// snapshot sink has been opened yet. Each snapshot generation gets its own
+// ring; telemetry probes sample whichever is current.
+func (b *Backend) SnapshotRing() *uring.Ring {
+	if len(b.sinks) == 0 {
+		return nil
+	}
+	return b.sinks[len(b.sinks)-1].ring
+}
+
 // Slots reports the snapshot slot states for inspection.
 func (b *Backend) Slots() []SlotInfo {
 	out := make([]SlotInfo, 3)

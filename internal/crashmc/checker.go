@@ -1,9 +1,12 @@
 package crashmc
 
 import (
+	"fmt"
+
 	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/telemetry"
 )
 
 // Config parameterizes one model-checking run.
@@ -21,6 +24,12 @@ type Config struct {
 	// Metrics, when non-nil, receives the aggregate injected-fault
 	// counters (fault.*) and checker progress counters (crashmc.*).
 	Metrics *metrics.Counter
+	// FlightDir, when non-empty, attaches a telemetry cell to every replay
+	// and dumps its flight ring (the trailing per-layer state samples) there
+	// when that replay's recovery violates the durability oracle. The
+	// recording pass and the full-run sanity check are not instrumented:
+	// their engines run to queue drain, which a sampling tick would prevent.
+	FlightDir string
 }
 
 // Result is one model-checking run's outcome.
@@ -61,16 +70,24 @@ func Check(cfg Config) (*Result, error) {
 		}
 	}
 
+	var flights *telemetry.Registry
+	if cfg.FlightDir != "" {
+		flights = telemetry.NewRegistry(0)
+		flights.FlightDir = cfg.FlightDir
+	}
+
 	lattice := buildLattice(lr.points, full.End)
 	res.LatticeSize = len(lattice)
 	for _, cp := range sampleLattice(lattice, cfg.Budget) {
-		out, err := runOnce(cfg.Target, w, cp.T, nil, nil)
+		tele := flights.Cell(fmt.Sprintf("%s/cut-%d", cfg.Target, int64(cp.T)))
+		out, err := runOnceTele(cfg.Target, w, cp.T, nil, nil, tele)
 		if err != nil {
 			return nil, err
 		}
 		res.CutsChecked++
 		res.Faults.Add(out.Faults)
 		if v := checkOracle(cfg.Target, cp.T, out.Hist, out.Rec); v != nil {
+			tele.DumpFlight("oracle violation: " + v.Code) //nolint:errcheck // the violation is the headline
 			res.Violations = append(res.Violations, *v)
 			if cfg.StopAtFirst {
 				break

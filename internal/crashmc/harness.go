@@ -32,6 +32,7 @@ import (
 	"github.com/slimio/slimio/internal/fault"
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/telemetry"
 	"github.com/slimio/slimio/internal/wal"
 )
 
@@ -264,6 +265,14 @@ type runOutcome struct {
 // that instant (in-flight programs tear, nothing past it executes) before
 // recovering on a fresh engine over the frozen device.
 func runOnce(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func(string, sim.Time)) (*runOutcome, error) {
+	return runOnceTele(tgt, w, cut, rec, mark, nil)
+}
+
+// runOnceTele is runOnce with an optional telemetry cell whose flight ring
+// records the replay's per-layer state. Only cut > 0 replays may be
+// instrumented: the sampling tick reschedules itself, so a run-to-drain
+// engine (cut == 0) would never stop.
+func runOnceTele(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func(string, sim.Time), tele *telemetry.Cell) (*runOutcome, error) {
 	sc := exp.Scale{
 		Name:          "crashmc",
 		DeviceBytes:   deviceBytes,
@@ -279,6 +288,8 @@ func runOnce(tgt Target, w Workload, cut sim.Time, rec fault.Recorder, mark func
 	defer eng.Shutdown()
 	if cut > 0 {
 		st.ArmPowerCut(cut)
+		exp.AttachStackTelemetry(st, tele)
+		tele.Start(eng)
 	}
 	pageSize := st.Dev.PageSize()
 	hist := &History{}

@@ -6,6 +6,7 @@ import (
 	"github.com/slimio/slimio/internal/imdb"
 	"github.com/slimio/slimio/internal/metrics"
 	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/telemetry"
 	"github.com/slimio/slimio/internal/vtrace"
 	"github.com/slimio/slimio/internal/workload"
 )
@@ -100,6 +101,20 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 		tracer = sc.Trace.Tracer(label)
 		sc.tracer = tracer
 	}
+	var tele *telemetry.Cell
+	if sc.Telemetry != nil {
+		tele = sc.Telemetry.Cell(label)
+		sc.tele = tele
+	}
+	// The flight recorder's last trigger: a panicking cell (including the
+	// engine's deadlock panic) dumps its trailing samples and spans before
+	// the panic propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			tele.DumpFlight(fmt.Sprintf("panic: %v", r)) //nolint:errcheck // repanicking
+			panic(r)
+		}
+	}()
 	st, err := BuildStack(eng, cfg.Kind, sc)
 	if err != nil {
 		return nil, err
@@ -112,6 +127,11 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 	}
 	db := imdb.New(eng, st.Backend, dbCfg, series)
 	db.Start()
+
+	AttachStackTelemetry(st, tele)
+	attachEngineTelemetry(db, tele)
+	tele.SetTracer(tracer)
+	tele.Start(eng)
 
 	wl := cfg.Workload
 	wl.Ops = cfg.Scale.OpsPerRep
@@ -131,6 +151,8 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 		if cfg.Preload || cfg.SnapshotOnly {
 			if err := workload.Preload(env, db, wl); err != nil {
 				runErr = err
+				stopGC()
+				tele.Stop()
 				return
 			}
 		}
@@ -141,6 +163,7 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 			db.Shutdown(env)
 			endAt = env.Now()
 			stopGC()
+			tele.Stop()
 			return
 		}
 		for rep := 0; rep < max(1, cfg.Scale.Reps); rep++ {
@@ -167,9 +190,11 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 		db.Shutdown(env)
 		endAt = env.Now()
 		stopGC()
+		tele.Stop()
 	})
 	eng.Run()
 	if runErr != nil {
+		tele.DumpFlight("run error: " + runErr.Error()) //nolint:errcheck // the run error wins
 		eng.Shutdown()
 		return nil, runErr
 	}

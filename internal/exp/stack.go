@@ -23,6 +23,7 @@ import (
 	"github.com/slimio/slimio/internal/nand"
 	"github.com/slimio/slimio/internal/sim"
 	"github.com/slimio/slimio/internal/ssd"
+	"github.com/slimio/slimio/internal/telemetry"
 	"github.com/slimio/slimio/internal/uring"
 	"github.com/slimio/slimio/internal/vtrace"
 )
@@ -127,6 +128,15 @@ type Scale struct {
 	// tracer is the per-cell tracer resolved by RunCell; BuildStack falls
 	// back to Trace.Tracer(kind.String()) when a stack is built directly.
 	tracer *vtrace.Tracer
+
+	// Telemetry, when non-nil, enables the continuous telemetry plane: every
+	// cell samples per-layer gauges (NAND busy time, RU occupancy, ring and
+	// writeback queue depths, WAL-buffer fill, pool in-flight counts) on a
+	// virtual-time tick into its own telemetry.Cell, labelled like the
+	// tracer. Nil keeps every hot path allocation-free.
+	Telemetry *telemetry.Registry
+	// tele is the per-cell telemetry cell resolved by RunCell.
+	tele *telemetry.Cell
 }
 
 // SmallScale is the default: ~1/500 of the paper's volume, seconds to run.

@@ -382,6 +382,21 @@ func (e *Engine) WaitNoSnapshot(env *sim.Env) {
 	}
 }
 
+// WALBufferedBytes reports bytes accumulated in the WAL buffer since the
+// last drain — the telemetry plane's WAL-buffer-depth gauge.
+func (e *Engine) WALBufferedBytes() int { return e.walBuf.Len() }
+
+// WALPendingBytes reports drained log bytes the backend has not yet
+// accepted; a growing value marks an fsync backlog.
+func (e *Engine) WALPendingBytes() int { return e.walPending.Len() }
+
+// SyncInFlight reports whether a WAL sync is outstanding.
+func (e *Engine) SyncInFlight() bool { return e.syncing }
+
+// MemoryNow reports the engine's current modelled memory footprint —
+// the instantaneous value whose maximum Stats.PeakMemory records.
+func (e *Engine) MemoryNow() int64 { return e.memoryNow() }
+
 // memoryBase is the steady-state footprint: store payload + per-key
 // overhead.
 func (e *Engine) memoryBase() int64 {

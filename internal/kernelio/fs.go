@@ -100,6 +100,7 @@ type Filesystem struct {
 
 	dirtyQ     []dirtyRef
 	dirtyCount int
+	wbInflight int
 	wbKick     *sim.Broadcast
 	drained    *sim.Broadcast
 
@@ -210,6 +211,11 @@ func (fs *Filesystem) Stats() FSStats { return fs.stats }
 
 // DirtyPages reports pages awaiting writeback.
 func (fs *Filesystem) DirtyPages() int { return fs.dirtyCount }
+
+// WritebackInflight reports writeback commands submitted to the block
+// layer and not yet reaped — the writeback queue depth the telemetry plane
+// samples.
+func (fs *Filesystem) WritebackInflight() int { return fs.wbInflight }
 
 func (fs *Filesystem) pageSize() int64 { return int64(fs.dev.PageSize()) }
 
@@ -852,6 +858,7 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 				flushed: flushed,
 				span:    wbSpan,
 			})
+			fs.wbInflight = len(inflight)
 		}
 		if len(inflight) == 0 {
 			fs.wbKick.Wait(env)
@@ -860,6 +867,7 @@ func (fs *Filesystem) writeback(env *sim.Env) {
 		// Reap the oldest command.
 		w := inflight[0]
 		inflight = inflight[1:]
+		fs.wbInflight = len(inflight)
 		w.req.Done.Wait(env)
 		fs.trace.End(w.span, env.Now())
 		fs.stats.WritebackPages += int64(len(w.req.Pages))

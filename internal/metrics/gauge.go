@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// GaugeBucket is one virtual-time interval of a Gauge: the last, smallest,
+// and largest value observed in the interval, plus how many observations
+// landed in it. Samples == 0 marks an empty interval (Last/Min/Max are
+// meaningless there).
+type GaugeBucket struct {
+	Last    int64
+	Min     int64
+	Max     int64
+	Samples int64
+}
+
+// Gauge records a sampled instantaneous value (queue depth, dirty pages,
+// cumulative busy time) against the virtual clock, keeping last/min/max per
+// fixed-width interval. Unlike Series it is not a rate: each bucket
+// summarizes the values seen inside it, so downsampling a fast-moving
+// signal loses resolution but never the envelope.
+//
+// A nil *Gauge is a no-op recorder — the telemetry-off hot path pays one
+// branch and allocates nothing, the same contract as a nil *vtrace.Tracer.
+type Gauge struct {
+	interval sim.Duration
+	buckets  []GaugeBucket
+	dropped  int64
+}
+
+// NewGauge returns a Gauge with the given bucket width.
+func NewGauge(interval sim.Duration) *Gauge {
+	if interval <= 0 {
+		panic("metrics: Gauge interval must be positive")
+	}
+	return &Gauge{interval: interval}
+}
+
+// Set records value v observed at virtual time t. Samples at negative times
+// or past the Series bucket cap are dropped and counted, mirroring
+// Series.Add: a misconfigured interval must not corrupt or OOM a run.
+func (g *Gauge) Set(t sim.Time, v int64) {
+	if g == nil {
+		return
+	}
+	if t < 0 {
+		g.dropped++
+		return
+	}
+	idx := int(int64(t) / int64(g.interval))
+	if idx >= MaxSeriesBuckets {
+		g.dropped++
+		return
+	}
+	for len(g.buckets) <= idx {
+		g.buckets = append(g.buckets, GaugeBucket{})
+	}
+	b := &g.buckets[idx]
+	if b.Samples == 0 {
+		b.Last, b.Min, b.Max = v, v, v
+	} else {
+		b.Last = v
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+	}
+	b.Samples++
+}
+
+// Interval reports the bucket width.
+func (g *Gauge) Interval() sim.Duration {
+	if g == nil {
+		return 0
+	}
+	return g.interval
+}
+
+// Len reports the number of buckets (including empty interior buckets up to
+// the last observation).
+func (g *Gauge) Len() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.buckets)
+}
+
+// Bucket returns bucket i (the zero bucket outside the recorded range).
+func (g *Gauge) Bucket(i int) GaugeBucket {
+	if g == nil || i < 0 || i >= len(g.buckets) {
+		return GaugeBucket{}
+	}
+	return g.buckets[i]
+}
+
+// Last returns the most recent observed value (from the last non-empty
+// bucket), or 0 when nothing was ever observed.
+func (g *Gauge) Last() int64 {
+	if g == nil {
+		return 0
+	}
+	for i := len(g.buckets) - 1; i >= 0; i-- {
+		if g.buckets[i].Samples > 0 {
+			return g.buckets[i].Last
+		}
+	}
+	return 0
+}
+
+// Errors reports how many Set calls were dropped for a negative time or an
+// over-cap bucket index, with a nil error when there were none.
+func (g *Gauge) Errors() (dropped int64, err error) {
+	if g == nil || g.dropped == 0 {
+		return 0, nil
+	}
+	return g.dropped, fmt.Errorf("metrics: %d gauge samples dropped (negative time or bucket index >= %d)", g.dropped, MaxSeriesBuckets)
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/slimio/slimio/internal/sim"
+)
+
+// refBucket mirrors GaugeBucket for the brute-force reference model.
+type refBucket struct {
+	last, min, max, samples int64
+}
+
+// TestGaugePropertyVsReference drives random Set sequences through a Gauge
+// and an exact reference model and requires identical last/min/max/samples
+// in every bucket, identical Len, Last, and drop counts.
+func TestGaugePropertyVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		interval := sim.Duration(1 + rng.Int63n(5000))
+		g := NewGauge(interval)
+		ref := make(map[int]*refBucket)
+		refDropped := int64(0)
+		maxIdx := -1
+
+		n := 1 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			var ts sim.Time
+			switch rng.Intn(10) {
+			case 0: // negative time: must drop
+				ts = sim.Time(-1 - rng.Int63n(1000))
+			case 1: // past the bucket cap: must drop
+				ts = sim.Time(int64(interval) * int64(MaxSeriesBuckets+rng.Intn(5)))
+			default:
+				ts = sim.Time(rng.Int63n(200 * int64(interval)))
+			}
+			v := rng.Int63n(1000) - 500
+			g.Set(ts, v)
+
+			if ts < 0 {
+				refDropped++
+				continue
+			}
+			idx := int(int64(ts) / int64(interval))
+			if idx >= MaxSeriesBuckets {
+				refDropped++
+				continue
+			}
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+			b := ref[idx]
+			if b == nil {
+				b = &refBucket{last: v, min: v, max: v}
+				ref[idx] = b
+			} else {
+				b.last = v
+				if v < b.min {
+					b.min = v
+				}
+				if v > b.max {
+					b.max = v
+				}
+			}
+			b.samples++
+		}
+
+		if got, want := g.Len(), maxIdx+1; got != want {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, got, want)
+		}
+		var wantLast int64
+		lastSet := false
+		for i := 0; i <= maxIdx; i++ {
+			got := g.Bucket(i)
+			want := ref[i]
+			if want == nil {
+				if got.Samples != 0 {
+					t.Fatalf("trial %d bucket %d: samples %d, want empty", trial, i, got.Samples)
+				}
+				continue
+			}
+			if got.Last != want.last || got.Min != want.min || got.Max != want.max || got.Samples != want.samples {
+				t.Fatalf("trial %d bucket %d: got %+v, want %+v", trial, i, got, *want)
+			}
+			wantLast = want.last
+			lastSet = true
+		}
+		if lastSet && g.Last() != wantLast {
+			t.Fatalf("trial %d: Last = %d, want %d", trial, g.Last(), wantLast)
+		}
+		dropped, err := g.Errors()
+		if dropped != refDropped {
+			t.Fatalf("trial %d: dropped = %d, want %d", trial, dropped, refDropped)
+		}
+		if (err != nil) != (refDropped > 0) {
+			t.Fatalf("trial %d: err = %v with %d drops", trial, err, refDropped)
+		}
+	}
+}
+
+func TestGaugeOutOfRangeBucketIsZero(t *testing.T) {
+	g := NewGauge(10)
+	g.Set(25, 7)
+	if b := g.Bucket(-1); b != (GaugeBucket{}) {
+		t.Errorf("Bucket(-1) = %+v", b)
+	}
+	if b := g.Bucket(99); b != (GaugeBucket{}) {
+		t.Errorf("Bucket(99) = %+v", b)
+	}
+	// Interior empty bucket stays zero; the observed one is exact.
+	if b := g.Bucket(0); b.Samples != 0 {
+		t.Errorf("Bucket(0) = %+v, want empty", b)
+	}
+	if b := g.Bucket(2); b.Samples != 1 || b.Last != 7 {
+		t.Errorf("Bucket(2) = %+v", b)
+	}
+}
+
+func TestNewGaugePanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGauge(0) did not panic")
+		}
+	}()
+	NewGauge(0)
+}
+
+// TestNilGaugeAllocFree is the telemetry-off contract: every method of a
+// nil *Gauge is a no-op and allocates nothing.
+func TestNilGaugeAllocFree(t *testing.T) {
+	var g *Gauge
+	allocs := testing.AllocsPerRun(200, func() {
+		g.Set(12345, 42)
+		_ = g.Len()
+		_ = g.Last()
+		_ = g.Interval()
+		_ = g.Bucket(3)
+		_, _ = g.Errors()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Gauge allocated %.1f per op, want 0", allocs)
+	}
+}

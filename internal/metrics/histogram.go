@@ -31,8 +31,13 @@ type Histogram struct {
 	max    sim.Duration
 }
 
-// Record adds one observation. Negative values are clamped to zero.
+// Record adds one observation. Negative values are clamped to zero. A nil
+// receiver is a no-op, so telemetry-off code paths can call through without
+// branching (same contract as Gauge.Set).
 func (h *Histogram) Record(d sim.Duration) {
+	if h == nil {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}

@@ -611,6 +611,10 @@ func (a *Array) Wear() WearStats {
 // DieBusyTotal reports cumulative busy time of a die, for utilization stats.
 func (a *Array) DieBusyTotal(die int) sim.Duration { return a.dies[die].BusyTotal() }
 
+// ChannelBusyTotal reports cumulative busy (transfer) time of a channel,
+// for the telemetry plane's per-channel occupancy gauges.
+func (a *Array) ChannelBusyTotal(ch int) sim.Duration { return a.chans[ch].BusyTotal() }
+
 // MaxBusyUntil reports the latest horizon over all dies and channels: the
 // time at which the array fully drains if no further work arrives.
 func (a *Array) MaxBusyUntil() sim.Time {

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/sim"
+)
+
+func TestRegistryCellsSortedAndCached(t *testing.T) {
+	reg := NewRegistry(0)
+	if reg.Interval() != DefaultInterval {
+		t.Fatalf("interval = %v", reg.Interval())
+	}
+	b := reg.Cell("b")
+	a := reg.Cell("a")
+	if reg.Cell("b") != b {
+		t.Fatal("cell not cached")
+	}
+	if got := reg.Labels(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("labels = %v", got)
+	}
+	if reg.Get("a") != a || reg.Get("zzz") != nil {
+		t.Fatal("Get mismatch")
+	}
+}
+
+// TestSamplingTickRidesTheSimClock runs a cell on an engine and checks the
+// tick fires at t=0 and then every interval until Stop, reading probes in
+// registration order.
+func TestSamplingTickRidesTheSimClock(t *testing.T) {
+	reg := NewRegistry(2 * sim.Millisecond)
+	cell := reg.Cell("c")
+	depth := int64(0)
+	g := cell.Gauge("queue.depth")
+	cell.AddProbe(func(now sim.Time) { g.Set(now, depth) })
+
+	eng := sim.NewEngine()
+	cell.Start(eng)
+	eng.Spawn("driver", func(env *sim.Env) {
+		for i := 0; i < 5; i++ {
+			depth = int64(10 * (i + 1))
+			env.Sleep(2 * sim.Millisecond)
+		}
+		cell.Stop()
+	})
+	eng.Run()
+
+	// Ticks at 0,2,4,6,8,10 ms = 6 samples; the sample at tick k sees the
+	// depth set by the driver's k-th step (driver and tick at the same
+	// instant: tick was scheduled first at t=0, driver wakes after).
+	if cell.Samples() != 6 {
+		t.Fatalf("samples = %d, want 6", cell.Samples())
+	}
+	if g.Len() != 6 {
+		t.Fatalf("gauge len = %d", g.Len())
+	}
+	if g.Bucket(0).Last != 0 || g.Last() != 50 {
+		t.Fatalf("bucket0=%+v last=%d", g.Bucket(0), g.Last())
+	}
+	if err := cell.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotCarriesEmptyBucketsForward(t *testing.T) {
+	reg := NewRegistry(10)
+	cell := reg.Cell("x")
+	g := cell.Gauge("v")
+	g.Set(5, 7)  // bucket 0
+	g.Set(35, 9) // bucket 3; buckets 1-2 empty
+	cd := cell.snapshot()
+	if len(cd.Samples) != 4 {
+		t.Fatalf("rows = %d", len(cd.Samples))
+	}
+	want := []int64{7, 7, 7, 9}
+	for i, w := range want {
+		if cd.Samples[i].V[0] != w {
+			t.Fatalf("row %d = %d, want %d", i, cd.Samples[i].V[0], w)
+		}
+	}
+}
+
+func TestFlightRingWrapsOldestFirst(t *testing.T) {
+	reg := NewRegistry(1)
+	cell := reg.Cell("w")
+	g := cell.Gauge("n")
+	cell.AddProbe(func(now sim.Time) { g.Set(now, int64(now)) })
+	for i := 0; i < DefaultFlightDepth+50; i++ {
+		cell.Sample(sim.Time(i))
+	}
+	rows := cell.flightRows()
+	if len(rows) != DefaultFlightDepth {
+		t.Fatalf("ring size = %d", len(rows))
+	}
+	if rows[0].t != 50 || rows[len(rows)-1].t != sim.Time(DefaultFlightDepth+49) {
+		t.Fatalf("ring span [%d,%d]", rows[0].t, rows[len(rows)-1].t)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].t != rows[i-1].t+1 {
+			t.Fatalf("ring not oldest-first at %d", i)
+		}
+	}
+}
+
+func TestDumpFlightLatchesAndParses(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(1)
+	reg.FlightDir = dir
+	cell := reg.Cell("tbl/cell:1")
+	g := cell.Gauge("n")
+	cell.AddProbe(func(now sim.Time) { g.Set(now, 3) })
+	cell.Sample(0)
+	cell.Sample(1)
+
+	path, err := cell.DumpFlight("injected fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "flight-tbl_cell_1.json" {
+		t.Fatalf("path = %s", path)
+	}
+	if !cell.FlightDumped() {
+		t.Fatal("dumped flag not set")
+	}
+	// First failure wins: a second trigger must not overwrite.
+	if p2, err := cell.DumpFlight("cascade"); err != nil || p2 != "" {
+		t.Fatalf("second dump = %q, %v", p2, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ParseFlight(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cell != "tbl/cell:1" || rec.Reason != "injected fault" || len(rec.Samples) != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestDumpFlightNoDirIsNoOp(t *testing.T) {
+	reg := NewRegistry(1)
+	cell := reg.Cell("quiet")
+	cell.Gauge("n").Set(0, 1)
+	if path, err := cell.DumpFlight("whatever"); err != nil || path != "" {
+		t.Fatalf("dump = %q, %v", path, err)
+	}
+	if cell.FlightDumped() {
+		t.Fatal("dumped without a FlightDir")
+	}
+}
+
+func TestExportJSONValidatesAndCSV(t *testing.T) {
+	reg := NewRegistry(10)
+	cell := reg.Cell("c1")
+	ga := cell.Gauge("a")
+	gb := cell.Gauge("b")
+	cell.Histogram("h").Record(42)
+	for i := 0; i < 3; i++ {
+		ga.Set(sim.Time(i*10), int64(i))
+		gb.Set(sim.Time(i*10), int64(100+i))
+	}
+	var buf bytes.Buffer
+	if err := reg.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ParseDump(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Cells) != 1 || len(dump.Cells[0].Samples) != 3 {
+		t.Fatalf("dump shape: %+v", dump)
+	}
+	if dump.Cells[0].Hists[0].Count != 1 {
+		t.Fatalf("hist: %+v", dump.Cells[0].Hists)
+	}
+	var csv bytes.Buffer
+	if err := dump.Cells[0].CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "t_ns,a,b" || lines[1] != "0,0,100" || lines[3] != "20,2,102" {
+		t.Fatalf("csv:\n%s", csv.String())
+	}
+}
+
+func TestValidateDumpRejectsBadShapes(t *testing.T) {
+	bad := []string{
+		`{"interval_ns":0,"cells":[]}`,
+		`{"interval_ns":5,"cells":[]}`,
+		`{"interval_ns":5,"cells":[{"label":"","names":[],"samples":[]}]}`,
+		`{"interval_ns":5,"cells":[{"label":"x","names":["b","a"],"samples":[]}]}`,
+		`{"interval_ns":5,"cells":[{"label":"x","names":["a","a"],"samples":[]}]}`,
+		`{"interval_ns":5,"cells":[{"label":"x","names":["a"],"samples":[{"t":0,"v":[1,2]}]}]}`,
+		`{"interval_ns":5,"cells":[{"label":"x","names":["a"],"samples":[{"t":5,"v":[1]},{"t":5,"v":[2]}]}]}`,
+	}
+	for i, s := range bad {
+		if err := ValidateDump([]byte(s)); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestExportOpenMetricsShape(t *testing.T) {
+	reg := NewRegistry(10)
+	ca := reg.Cell("cellA")
+	ca.Gauge("q.depth").Set(0, 5)
+	ca.Histogram("lat").Record(100)
+	reg.Cell("cellB").Gauge("q.depth").Set(0, 9)
+	var buf bytes.Buffer
+	counters := []metrics.KV{{Key: "fault.program_err", Value: 3}}
+	if err := reg.ExportOpenMetrics(&buf, counters); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE slimio_q_depth gauge\n",
+		"slimio_q_depth{cell=\"cellA\"} 5\n",
+		"slimio_q_depth{cell=\"cellB\"} 9\n",
+		"# TYPE slimio_lat summary\n",
+		"slimio_lat{cell=\"cellA\",quantile=\"0.5\"}",
+		"slimio_lat_count{cell=\"cellA\"} 1\n",
+		"# TYPE slimio_counter counter\n",
+		"slimio_counter_total{name=\"fault.program_err\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("missing EOF terminator")
+	}
+}
+
+// TestNilRegistryAllocFree is the off-switch contract: a nil registry hands
+// out nil cells and nil gauges whose every operation is a no-op with zero
+// allocations — the same deal as vtrace's nil *Tracer.
+func TestNilRegistryAllocFree(t *testing.T) {
+	var reg *Registry
+	cell := reg.Cell("anything")
+	if cell != nil {
+		t.Fatal("nil registry returned a cell")
+	}
+	g := cell.Gauge("g")
+	if g != nil {
+		t.Fatal("nil cell returned a gauge")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		g.Set(7, 1)
+		cell.Gauge("other").Set(8, 2)
+		cell.Histogram("h").Record(3)
+		cell.AddProbe(nil)
+		cell.Sample(9)
+		cell.Stop()
+		_ = cell.Label()
+		_ = cell.Samples()
+		_ = reg.Interval()
+		_ = reg.Labels()
+		_, _ = cell.DumpFlight("x")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestEncodeFlightIncludesDropNotes(t *testing.T) {
+	reg := NewRegistry(10)
+	cell := reg.Cell("drops")
+	g := cell.Gauge("bad")
+	g.Set(-5, 1) // dropped
+	g.Set(0, 2)
+	cell.Sample(0)
+	data, err := cell.EncodeFlight("why")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ParseFlight(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Dropped) != 1 || rec.Dropped[0].Gauge != "bad" || rec.Dropped[0].Dropped != 1 {
+		t.Fatalf("dropped notes: %+v", rec.Dropped)
+	}
+}

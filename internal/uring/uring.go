@@ -110,6 +110,10 @@ type Stats struct {
 	Completed   int64
 	Syscalls    int64 // zero in SQPOLL mode
 	SQPollWakes int64
+	// SQPollIdle is cumulative time the SQPOLL poller spent parked with an
+	// empty submission queue (zero when SQPoll is off) — the telemetry
+	// plane derives poller utilization from its deltas.
+	SQPollIdle sim.Duration
 }
 
 // Ring is one io_uring instance bound to a device. A Ring is owned by one
@@ -159,6 +163,9 @@ func (r *Ring) Stats() Stats { return r.stats }
 // SQDepth reports entries waiting for the poller (SQPOLL mode only).
 func (r *Ring) SQDepth() int { return len(r.sq) }
 
+// CQDepth reports completions posted but not yet reaped by the CQ handler.
+func (r *Ring) CQDepth() int { return r.cq.Len() }
+
 // Submit places an SQE on the ring and returns a signal that fires with a
 // *CQE when the command completes. In SQPOLL mode this costs the caller only
 // the ring write; otherwise it pays the submission syscall and the kernel
@@ -204,7 +211,9 @@ func (r *Ring) SubmitAndWait(env *sim.Env, sqe *SQE) *CQE {
 func (r *Ring) sqPoller(env *sim.Env) {
 	for {
 		if len(r.sq) == 0 {
+			idleFrom := env.Now()
 			r.kick.Wait(env)
+			r.stats.SQPollIdle += env.Now().Sub(idleFrom)
 			continue
 		}
 		env.Sleep(r.cfg.SQPollPickup)
