@@ -1,7 +1,12 @@
 # PR number for the committed benchmark snapshot (BENCH_<PR>.json).
 PR ?= 3
 
-.PHONY: build test race bench bench-smoke bench-compare trace-smoke top-smoke check-smoke lint
+# Total-statement coverage floor for `make cover-check` (CI blocking step).
+# Measured with -short; re-record by running `make cover` and reading the
+# final `total:` line of `go tool cover -func`.
+COVER_BASELINE ?= 68.0
+
+.PHONY: build test race race-tiny cover cover-check bench bench-smoke bench-compare trace-smoke top-smoke check-smoke lint
 
 build:
 	go build ./...
@@ -15,6 +20,27 @@ test:
 # timeout.
 race:
 	go test -race -timeout 30m ./...
+
+# Tiny-scale race pass: -short trims the experiment grids and seed corpora
+# (including the multi-tenant isolation suite) so the race detector covers
+# every package quickly. CI runs this as its own job; `make race` remains
+# the full-scale local run.
+race-tiny:
+	go test -race -short -timeout 20m ./...
+
+# Coverage snapshot at tiny scale: writes coverage.out (uploaded by CI as
+# an artifact) and prints the per-function rollup.
+cover:
+	go test -short -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -1
+
+# Blocking coverage gate: fail if total statement coverage drops below
+# COVER_BASELINE (recorded above when the baseline was last measured).
+cover-check: cover
+	@total=$$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }' || \
+		{ echo "coverage $$total% fell below baseline $(COVER_BASELINE)%"; exit 1; }
 
 # Single local lint entry point, mirrored by the CI lint job: formatting,
 # the stock vet suite, the repo's own determinism-contract suite

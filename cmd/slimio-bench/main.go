@@ -7,8 +7,11 @@
 //	slimio-bench -exp table3              # one experiment
 //	slimio-bench -exp table3 -scale tiny  # quick run
 //	slimio-bench -exp table3 -device 1024 -ops 200000 -keys 40000
+//	slimio-bench -tenants 4 -noisy       # multi-tenant isolation experiment
 //
-// Experiments: table1 table2 table3 table4 table5 fig2 fig4 fig5 all.
+// Experiments: table1 table2 table3 table4 table5 fig2 fig4 fig5 all, plus
+// isolation (selected by -tenants; not part of "all" so the committed
+// BENCH_*.json baselines keep their experiment set).
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 		reps    = flag.Int("reps", 0, "override repetitions")
 		trigger = flag.Int64("trigger", 0, "override WAL-snapshot trigger in MiB")
 		window  = exp.SimDurationFlag("window", 0, "override figure 4/5 window (virtual time)")
+		tenants = flag.Int("tenants", 0, "run the multi-tenant isolation experiment with this many co-located engines (adds exp \"isolation\")")
+		noisy   = flag.Bool("noisy", false, "make tenant 0 a Zipf-heavy overwriter in the isolation experiment")
 
 		parallel   = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		vtraceOut  = flag.String("vtrace", "", "trace the run and write a Chrome trace-event JSON file (requires a single -exp)")
@@ -117,7 +122,36 @@ func main() {
 	sc.Parallel = *parallel
 
 	wanted := strings.Split(*expName, ",")
+	hasExact := func(name string) bool {
+		for _, w := range wanted {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+	// The isolation experiment is opt-in via -tenants (or an explicit -exp
+	// isolation); "all" deliberately excludes it so the committed bench
+	// baselines keep their experiment set. -tenants alone (no explicit
+	// -exp) runs just the isolation experiment.
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	if *tenants > 0 && !expSet {
+		wanted = []string{"isolation"}
+	} else if *tenants > 0 && !hasExact("isolation") {
+		wanted = append(wanted, "isolation")
+	}
+	if hasExact("isolation") && *tenants <= 0 {
+		*tenants = 2
+	}
 	has := func(name string) bool {
+		if name == "isolation" {
+			return hasExact(name)
+		}
 		for _, w := range wanted {
 			if w == name || w == "all" {
 				return true
@@ -199,6 +233,7 @@ func main() {
 	run("table5", func() (fmt.Stringer, error) { return exp.RunTable5(sc) })
 	run("fig4", func() (fmt.Stringer, error) { return runFigure(4, sc, figWindow) })
 	run("fig5", func() (fmt.Stringer, error) { return runFigure(5, sc, figWindow) })
+	run("isolation", func() (fmt.Stringer, error) { return exp.RunIsolation(sc, *tenants, *noisy) })
 	printFaultCounters(ctr)
 	if sc.Trace != nil {
 		if err := writeTrace(*vtraceOut, sc.Trace); err != nil {

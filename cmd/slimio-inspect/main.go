@@ -172,9 +172,9 @@ func printFDP(st fdp.Stats, f *fdp.FTL) {
 	fmt.Printf("\n== FDP FTL ==\n")
 	fmt.Printf("RUs reclaimed  %d (%d without any copy)\n", st.RUsReclaimed, st.RUsReclaimedEmpty)
 	fmt.Printf("writes by PID:\n")
-	for pid := uint32(0); pid < 8; pid++ {
-		if n := st.HostWritesByPID[pid]; n > 0 {
-			fmt.Printf("  PID %d: %d pages\n", pid, n)
+	for _, pc := range st.PIDWrites() {
+		if pc.HostWrites > 0 || pc.GCCopies > 0 {
+			fmt.Printf("  PID %d: %d pages (%d GC copies)\n", pc.PID, pc.HostWrites, pc.GCCopies)
 		}
 	}
 	printUsage(f.Usage())

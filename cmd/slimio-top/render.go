@@ -84,9 +84,42 @@ func wafCol() column {
 	}}
 }
 
+// tenantsCol renders the tenant count of multi-tenant cells.
+func tenantsCol() column {
+	return column{header: "tens", value: func(v *cellView, k int) string {
+		n, ok := v.at("tenant.count", k)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("%d", n)
+	}}
+}
+
+// tenantWAFCol renders the worst per-tenant WAF of a multi-tenant cell, from
+// the tenant<i>.waf_x100 gauges (indexed lookups over a bounded loop, so the
+// scan is deterministic regardless of how many tenants the cell mounts).
+func tenantWAFCol() column {
+	return column{header: "twaf", value: func(v *cellView, k int) string {
+		count, ok := v.at("tenant.count", k)
+		if !ok || count <= 0 {
+			return ""
+		}
+		worst := int64(0)
+		for i := int64(0); i < count; i++ {
+			x100, ok := v.at(fmt.Sprintf("tenant%d.waf_x100", i), k)
+			if ok && x100 > worst {
+				worst = x100
+			}
+		}
+		return fmt.Sprintf("%d.%02d", worst/100, worst%100)
+	}}
+}
+
 // dashboard is the column set of both render modes, in display order.
 var dashboard = []column{
 	wafCol(),
+	tenantsCol(),
+	tenantWAFCol(),
 	gaugeCol("gc_cp", "ftl.gc_copied_pages"),
 	gaugeCol("rus", "fdp.free_rus"),
 	gaugeCol("dirty", "kernelio.dirty_pages"),

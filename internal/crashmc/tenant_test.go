@@ -1,0 +1,87 @@
+package crashmc
+
+import (
+	"testing"
+
+	"github.com/slimio/slimio/internal/exp"
+)
+
+// Ten-seed smoke over the 2-tenant FDP stack: a shared power cut must leave
+// every tenant independently recoverable, with each judged by the full
+// durability oracle against its own client-visible history.
+func TestTenantSeededCrashFDP(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 4
+	}
+	var appended, lossy int
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, vs, err := RunTenantSeed(exp.TenantFDP, seed, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			t.Errorf("seed %d: oracle violation: %v", seed, v)
+		}
+		if len(res.Tenants) != 2 {
+			t.Fatalf("seed %d: %d tenant outcomes, want 2", seed, len(res.Tenants))
+		}
+		for i, u := range res.Tenants {
+			appended += u.Appended
+			if u.Recovered < u.Appended {
+				lossy++
+			}
+			if u.Recovered < u.Acked {
+				// checkOracle flags this too, but assert the headline
+				// per-tenant durability bound explicitly.
+				t.Errorf("seed %d tenant %d: recovered %d < acked %d", seed, i, u.Recovered, u.Acked)
+			}
+		}
+	}
+	if appended == 0 {
+		t.Fatal("no tenant appended anything before any cut; harness is inert")
+	}
+	if lossy == 0 {
+		t.Error("no cut ever lost an unsynced tail: every cut landed after quiescence")
+	}
+}
+
+// The shared-PID baseline runs the identical SlimIO write path, so its
+// durability contract is the same even though its placement mixes lifetimes.
+func TestTenantSeededCrashSharedBaseline(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, vs, err := RunTenantSeed(exp.TenantShared, seed, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			t.Errorf("seed %d: oracle violation: %v", seed, v)
+		}
+	}
+}
+
+// Same seed, same cut, same per-tenant recovery — bit for bit.
+func TestTenantSeededCrashDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		a, av, err := RunTenantSeed(exp.TenantFDP, seed, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, bv, err := RunTenantSeed(exp.TenantFDP, seed, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Cut != b.Cut || len(a.Tenants) != len(b.Tenants) {
+			t.Fatalf("seed %d not deterministic:\n first %+v\nsecond %+v", seed, a, b)
+		}
+		for i := range a.Tenants {
+			if a.Tenants[i] != b.Tenants[i] {
+				t.Fatalf("seed %d tenant %d not deterministic:\n first %+v\nsecond %+v",
+					seed, i, a.Tenants[i], b.Tenants[i])
+			}
+		}
+		if len(av) != len(bv) {
+			t.Fatalf("seed %d: oracle verdicts not deterministic: %v vs %v", seed, av, bv)
+		}
+	}
+}

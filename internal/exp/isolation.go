@@ -1,0 +1,273 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/slimio/slimio/internal/imdb"
+	"github.com/slimio/slimio/internal/metrics"
+	"github.com/slimio/slimio/internal/sim"
+	"github.com/slimio/slimio/internal/workload"
+)
+
+// TenantRow is one tenant's share of an isolation cell: host write volume,
+// the GC copies billed to its placement streams (unattributable on the
+// shared baseline), its own WAF, and its SET tail latency.
+type TenantRow struct {
+	Tenant string
+	Role   string // "noisy" or "steady"
+	Ops    int64
+	// HostPages counts pages the tenant wrote through its namespace.
+	HostPages int64
+	// GCCopies is the reclaim-copy count billed to the tenant's leased
+	// PIDs; -1 when the placement mode cannot attribute (shared stream).
+	GCCopies int64
+	WAF      float64
+	SetP99   sim.Duration
+}
+
+// IsolationCell is one placement mode's result: the device-global WAF and
+// every tenant's row.
+type IsolationCell struct {
+	Placement TenantPlacement
+	DeviceWAF float64
+	Rows      []TenantRow
+}
+
+// QuietWorstWAF returns the highest WAF among the steady tenants — the
+// number the isolation claim is about.
+func (c *IsolationCell) QuietWorstWAF() float64 {
+	worst := 0.0
+	for _, r := range c.Rows {
+		if r.Role == "steady" && r.WAF > worst {
+			worst = r.WAF
+		}
+	}
+	return worst
+}
+
+// IsolationResult is the multi-tenant isolation experiment: the same tenant
+// mix run twice, on the shared-PID baseline and under per-tenant FDP leases.
+type IsolationResult struct {
+	Tenants int
+	Noisy   bool
+	Cells   []*IsolationCell // shared-pid first, per-tenant-fdp second
+}
+
+// Cell returns the cell for placement p (nil if absent).
+func (r *IsolationResult) Cell(p TenantPlacement) *IsolationCell {
+	for _, c := range r.Cells {
+		if c.Placement == p {
+			return c
+		}
+	}
+	return nil
+}
+
+func (r *IsolationResult) String() string {
+	var b strings.Builder
+	mix := "all steady"
+	if r.Noisy {
+		mix = "tenant0 noisy"
+	}
+	fmt.Fprintf(&b, "Isolation: %d co-located engines, one device (%s)\n", r.Tenants, mix)
+	fmt.Fprintf(&b, "%-16s %-10s %-8s %10s %10s %10s %8s %12s\n",
+		"Placement", "Tenant", "Role", "Ops", "HostPages", "GCCopies", "WAF", "SET p99")
+	for _, c := range r.Cells {
+		for _, row := range c.Rows {
+			gc := "-"
+			if row.GCCopies >= 0 {
+				gc = fmt.Sprintf("%d", row.GCCopies)
+			}
+			fmt.Fprintf(&b, "%-16s %-10s %-8s %10d %10d %10s %8.2f %10dus\n",
+				c.Placement, row.Tenant, row.Role, row.Ops, row.HostPages, gc,
+				row.WAF, int64(row.SetP99)/int64(sim.Microsecond))
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %-8s %10s %10s %10s %8.2f\n",
+			c.Placement, "(device)", "", "", "", "", c.DeviceWAF)
+	}
+	return b.String()
+}
+
+// RunIsolation runs the noisy-neighbor isolation experiment: tenants
+// co-located SlimIO engines on one shared device, once with every tenant's
+// writes funneled into the shared placement stream (the conventional-FTL
+// consolidation baseline) and once with per-tenant FDP leases. When noisy,
+// tenant 0 is a Zipf-heavy overwriter with double the per-tenant operation
+// budget; the rest are steady uniform writers. Cells run under the shared
+// parallel harness, so results are byte-identical at any Scale.Parallel.
+func RunIsolation(sc Scale, tenants int, noisy bool) (*IsolationResult, error) {
+	if tenants < 2 {
+		tenants = 2
+	}
+	placements := []TenantPlacement{TenantShared, TenantFDP}
+	out := &IsolationResult{Tenants: tenants, Noisy: noisy, Cells: make([]*IsolationCell, len(placements))}
+	err := runCells(len(placements), sc.Parallel, func(i int) error {
+		cell, err := runIsolationCell(placements[i], tenants, noisy, sc)
+		if err != nil {
+			return err
+		}
+		out.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// isolationWorkload builds tenant idx's driver profile. The per-tenant op
+// and key budgets divide the scale's volume so the experiment's total write
+// volume matches a single-tenant run — and so each tenant's dataset (hence
+// its compressed snapshot image) shrinks with its slot, keeping the
+// image-fits-slot invariant at every scale. The noisy tenant gets twice the
+// op budget over a quarter of its keyspace, which is what makes it noisy.
+func isolationWorkload(idx, tenants int, noisy bool, sc Scale) (workload.Config, string) {
+	ops := sc.OpsPerRep / int64(tenants)
+	if ops < 1 {
+		ops = 1
+	}
+	keys := sc.KeyRange / int64(tenants)
+	if keys < 1 {
+		keys = 1
+	}
+	if noisy && idx == 0 {
+		hot := keys / 4
+		if hot < 1 {
+			hot = 1
+		}
+		return workload.NoisyNeighbor(ops*2, hot), "noisy"
+	}
+	wl := workload.SteadyTenant(ops, keys)
+	wl.Seed += int64(idx) * 104729 // distinct key streams per steady tenant
+	return wl, "steady"
+}
+
+// runIsolationCell runs one placement mode: build the tenant stack, drive
+// every tenant's workload concurrently on the one engine, and roll up the
+// per-tenant attribution.
+func runIsolationCell(placement TenantPlacement, tenants int, noisy bool, sc Scale) (*IsolationCell, error) {
+	eng := sim.NewEngine()
+	label := "isolation/" + placement.String()
+	costM0 := cellCostStart(sc.CellCosts)
+	if sc.Trace != nil {
+		sc.tracer = sc.Trace.Tracer(label)
+	}
+	if sc.Telemetry != nil {
+		sc.tele = sc.Telemetry.Cell(label)
+	}
+	tele := sc.tele
+	defer func() {
+		if r := recover(); r != nil {
+			tele.DumpFlight(fmt.Sprintf("panic: %v", r)) //nolint:errcheck // repanicking
+			panic(r)
+		}
+	}()
+
+	// Per-tenant sizing: each tenant owns 1/tenants of the device, so its
+	// snapshot slots and WAL-snapshot trigger shrink by the same factor.
+	// Beyond two tenants the shared device grows proportionally (every
+	// tenant keeps a half-scale droplet): each tenant pins TenantPIDs open
+	// reclaim units, so the RU count must grow with the tenant count.
+	tsc := sc
+	tsc.SlotBytes = sc.SlotBytes / int64(tenants)
+	if tenants > 2 {
+		tsc.DeviceBytes = sc.DeviceBytes / 2 * int64(tenants)
+	}
+	ts, err := BuildTenantStack(eng, placement, tenants, tsc)
+	if err != nil {
+		return nil, err
+	}
+
+	AttachTenantTelemetry(ts, tele)
+	tele.SetTracer(ts.Trace)
+	tele.Start(eng)
+
+	type tenantRun struct {
+		db   *imdb.Engine
+		wl   workload.Config
+		role string
+		ops  int64
+		p99  metrics.Histogram
+	}
+	runs := make([]*tenantRun, tenants)
+	for i, t := range ts.Tenants {
+		wl, role := isolationWorkload(i, tenants, noisy, sc)
+		if sc.ValueSize > 0 {
+			wl.ValueSize = sc.ValueSize
+		}
+		db := imdb.New(eng, t.Slim, imdb.Config{
+			Policy:             imdb.PeriodicalLog,
+			WALSnapshotTrigger: sc.WALTriggerBytes / int64(tenants),
+			Trace:              ts.Trace,
+			Pool:               ts.Pool(),
+		}, nil)
+		db.Start()
+		runs[i] = &tenantRun{db: db, wl: wl, role: role}
+	}
+	pending := tenants
+	for i := range runs {
+		i := i
+		tr := runs[i]
+		eng.Spawn(fmt.Sprintf("tenant%d-driver", i), func(env *sim.Env) {
+			for rep := 0; rep < max(1, sc.Reps); rep++ {
+				repWL := tr.wl
+				repWL.Seed = tr.wl.Seed + int64(rep)*1000003
+				runner := workload.Start(env.Engine(), tr.db, repWL)
+				if tr.role == "steady" {
+					// A steady tenant keeps an operator backup: one
+					// On-Demand-Snapshot early in the rep. Its long-lived
+					// image is exactly the data a shared placement stream
+					// forces reclaim to copy while the noisy tenant churns.
+					target := repWL.Ops / 5
+					for runner.Result().Ops < target {
+						env.Sleep(5 * sim.Millisecond)
+					}
+					trig := tr.db.TriggerSnapshot(imdb.OnDemandSnapshot)
+					trig.Reply.Wait(env)
+				}
+				runner.Done.Wait(env)
+				res := runner.Result()
+				tr.ops += res.Ops
+				tr.p99.Merge(&res.SetLatency)
+			}
+			tr.db.WaitNoSnapshot(env)
+			tr.db.Shutdown(env)
+			if pending--; pending == 0 {
+				tele.Stop()
+			}
+		})
+	}
+	eng.Run()
+
+	cell := &IsolationCell{Placement: placement, DeviceWAF: ts.Dev.Stats().WAF()}
+	for i, t := range ts.Tenants {
+		row := TenantRow{
+			Tenant:    t.Name,
+			Role:      runs[i].role,
+			Ops:       runs[i].ops,
+			HostPages: t.NS.HostWritePages(),
+			GCCopies:  -1,
+			WAF:       ts.TenantWAF(t),
+			SetP99:    runs[i].p99.P99(),
+		}
+		if t.Lease != nil && ts.Alloc != nil {
+			for _, u := range ts.Alloc.Rollup(ts.FDP.Stats()) {
+				if u.Tenant == t.Name {
+					row.GCCopies = u.GCCopies
+					row.HostPages = u.HostWrites
+				}
+			}
+		}
+		cell.Rows = append(cell.Rows, row)
+	}
+
+	ts.Close()
+	if n := ts.Pool().InFlight(); n != 0 {
+		return nil, fmt.Errorf("exp: %s: %d pooled segments leaked after teardown", label, n)
+	}
+	ts.Pool().Close()
+	eng.Shutdown()
+	cellCostEnd(sc.CellCosts, label, costM0)
+	return cell, nil
+}

@@ -11,6 +11,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/slimio/slimio/internal/baseline"
 	"github.com/slimio/slimio/internal/bufpool"
@@ -277,7 +278,7 @@ func BuildStack(eng *sim.Engine, kind BackendKind, sc Scale) (*Stack, error) {
 		st.FS = kernelio.NewFilesystem(eng, st.Dev, prof, mode, kernelio.DefaultCosts())
 		st.FS.SetTracer(tr)
 		if kind == FDPAwareFS {
-			st.FS.SetPlacementHint(filePID)
+			st.FS.SetPlacementHint(tenantFilePID(0))
 		}
 		be, err := baseline.New(st.FS)
 		if err != nil {
@@ -356,15 +357,22 @@ func (st *Stack) ArmPowerCut(at sim.Time) {
 // SlimIO's assignment for the FDP-aware-filesystem ablation.
 func filePID(name string) uint32 {
 	switch {
-	case hasPrefix(name, "appendonly.wal"):
+	case strings.HasPrefix(name, "appendonly.wal"):
 		return core.PIDWAL
-	case name == "dump-wal.rdb" || hasPrefix(name, "dump-wal"):
+	case name == "dump-wal.rdb" || strings.HasPrefix(name, "dump-wal"):
 		return core.PIDWALSnapshot
-	case hasPrefix(name, "dump-ondemand"):
+	case strings.HasPrefix(name, "dump-ondemand"):
 		return core.PIDOnDemand
 	default:
 		return 0
 	}
 }
 
-func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+// tenantFilePID is the tenant-offset variant of filePID: lifetime class c
+// maps to base+c inside the tenant's leased placement range, and unknown
+// file names fall back to the tenant's own local stream base+0 — never to
+// another tenant's PIDs. base 0 is exactly filePID (the single-tenant
+// ablation).
+func tenantFilePID(base uint32) func(string) uint32 {
+	return func(name string) uint32 { return base + filePID(name) }
+}

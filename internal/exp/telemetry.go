@@ -172,6 +172,49 @@ func AttachStackTelemetry(st *Stack, cell *telemetry.Cell) {
 	}
 }
 
+// AttachTenantTelemetry registers a multi-tenant stack's probes on cell:
+// the shared-device gauges of AttachStackTelemetry's FTL/FDP/pool sections
+// plus, per tenant, its host write volume and live WAF in integer
+// hundredths (the shared baseline cannot attribute GC, so every tenant
+// reads the device-global WAF there — which is the finding). All gauges are
+// created before the cell starts, so the schema is fixed; a nil cell is a
+// no-op.
+func AttachTenantTelemetry(ts *TenantStack, cell *telemetry.Cell) {
+	if ts == nil || cell == nil {
+		return
+	}
+
+	gHostW := cell.Gauge("ftl.host_write_pages")
+	gNANDW := cell.Gauge("ftl.nand_write_pages")
+	gGCCopied := cell.Gauge("ftl.gc_copied_pages")
+	gFreeRUs := cell.Gauge("fdp.free_rus")
+	gReclaimed := cell.Gauge("fdp.rus_reclaimed")
+	gInFlight := cell.Gauge("bufpool.inflight")
+	gTenants := cell.Gauge("tenant.count")
+	pool := ts.Pool()
+	cell.AddProbe(func(now sim.Time) {
+		fs := ts.Dev.Stats()
+		gHostW.Set(now, fs.HostWritePages)
+		gNANDW.Set(now, fs.NANDWritePages)
+		gGCCopied.Set(now, fs.GCCopiedPages)
+		gFreeRUs.Set(now, int64(ts.FDP.FreeRUs()))
+		rs := ts.FDP.Stats()
+		gReclaimed.Set(now, rs.RUsReclaimed)
+		gInFlight.Set(now, int64(pool.InFlight()))
+		gTenants.Set(now, int64(len(ts.Tenants)))
+	})
+
+	for _, t := range ts.Tenants {
+		t := t
+		gPages := cell.Gauge(fmt.Sprintf("%s.host_pages", t.Name))
+		gWAF := cell.Gauge(fmt.Sprintf("%s.waf_x100", t.Name))
+		cell.AddProbe(func(now sim.Time) {
+			gPages.Set(now, t.NS.HostWritePages())
+			gWAF.Set(now, ts.TenantWAFx100(t))
+		})
+	}
+}
+
 // attachRingTelemetry registers queue-depth and poller gauges for one
 // io_uring instance. The ring is re-resolved every tick because the
 // Snapshot-Path opens a fresh ring per snapshot generation; while no ring

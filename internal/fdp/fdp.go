@@ -16,6 +16,7 @@ package fdp
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/slimio/slimio/internal/bufpool"
 	"github.com/slimio/slimio/internal/ftl"
@@ -36,6 +37,40 @@ type Stats struct {
 	RUsReclaimed      int64
 	RUsReclaimedEmpty int64 // reclaimed with zero valid copies (the FDP win)
 	HostWritesByPID   map[uint32]int64
+	// GCCopiesByPID attributes reclaim-migrated pages to the PID that owned
+	// the victim reclaim unit, so multi-tenant roll-ups can bill GC work to
+	// the stream that caused it. Sums to GCCopiedPages.
+	GCCopiesByPID map[uint32]int64
+}
+
+// PIDCount is one placement stream's cumulative page counters, for sorted
+// per-PID export.
+type PIDCount struct {
+	PID        uint32
+	HostWrites int64
+	GCCopies   int64
+}
+
+// PIDWrites returns the per-PID counters in ascending PID order — the
+// deterministic iteration every print/export site must use instead of
+// ranging over the maps directly.
+func (s Stats) PIDWrites() []PIDCount {
+	pids := make([]uint32, 0, len(s.HostWritesByPID)+len(s.GCCopiesByPID))
+	for pid := range s.HostWritesByPID {
+		pids = append(pids, pid)
+	}
+	for pid := range s.GCCopiesByPID {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	out := make([]PIDCount, 0, len(pids))
+	for i, pid := range pids {
+		if i > 0 && pid == pids[i-1] {
+			continue
+		}
+		out = append(out, PIDCount{PID: pid, HostWrites: s.HostWritesByPID[pid], GCCopies: s.GCCopiesByPID[pid]})
+	}
+	return out
 }
 
 // ReclaimEvent records one RU reclaim for inspection.
@@ -187,6 +222,7 @@ func New(arr *nand.Array, cfg Config) (*FTL, error) {
 		pageSz:     geo.PageSize,
 	}
 	f.stats.HostWritesByPID = make(map[uint32]int64)
+	f.stats.GCCopiesByPID = make(map[uint32]int64)
 	for i := range f.l2p {
 		f.l2p[i] = nand.InvalidPPA
 	}
@@ -220,13 +256,16 @@ func (f *FTL) Capacity() int64 { return f.usableLPAs }
 // PageSize reports the page size in bytes.
 func (f *FTL) PageSize() int { return f.pageSz }
 
-// Stats returns cumulative counters. The returned HostWritesByPID map is a
-// copy.
+// Stats returns cumulative counters. The returned per-PID maps are copies.
 func (f *FTL) Stats() Stats {
 	s := f.stats
 	s.HostWritesByPID = make(map[uint32]int64, len(f.stats.HostWritesByPID))
 	for k, v := range f.stats.HostWritesByPID {
 		s.HostWritesByPID[k] = v
+	}
+	s.GCCopiesByPID = make(map[uint32]int64, len(f.stats.GCCopiesByPID))
+	for k, v := range f.stats.GCCopiesByPID {
+		s.GCCopiesByPID[k] = v
 	}
 	return s
 }
@@ -625,6 +664,7 @@ func (f *FTL) reclaim(now sim.Time) (done sim.Time, reclaimed bool, err error) {
 				copied++
 				f.stats.NANDWritePages++
 				f.stats.GCCopiedPages++
+				f.stats.GCCopiesByPID[victim.pid]++
 			}
 		}
 	}

@@ -386,3 +386,97 @@ func TestWearLeveling(t *testing.T) {
 		t.Fatalf("uneven wear: min=%d max=%d", w.MinErases, w.MaxErases)
 	}
 }
+
+// PIDWrites must return a sorted snapshot no matter how Go orders the map —
+// the maporder regression guard for every print/export site.
+func TestPIDWritesSortedDeterministic(t *testing.T) {
+	f := newTestFTL(t, 8)
+	for i := int64(0); i < 12; i++ {
+		if _, err := f.Write(0, i, bufpool.Borrowed(page("x", 128)), uint32(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := f.Stats().PIDWrites()
+	if len(first) != 4 {
+		t.Fatalf("PIDs reported = %d, want 4", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].PID >= first[i].PID {
+			t.Fatalf("PIDWrites not strictly ascending: %+v", first)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		again := f.Stats().PIDWrites()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: PIDWrites()[%d] = %+v, want %+v (map-order leak)", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// GC-copy attribution: the per-PID reclaim-copy counters must decompose the
+// global GCCopiedPages exactly, and bill only PIDs that owned victim RUs.
+func TestGCCopyAttribution(t *testing.T) {
+	f := newTestFTL(t, 8)
+	rng := rand.New(rand.NewSource(21))
+	now := sim.Time(0)
+	hot := f.Capacity() / 2
+	// PID 1 churns (mixed lifetimes within the stream => copies); PID 2
+	// writes once and stays clean.
+	coldBase := hot
+	for i := int64(0); i < 4; i++ {
+		done, err := f.Write(now, coldBase+i, bufpool.Borrowed(page("cold", 128)), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	for i := 0; i < int(f.Capacity())*5; i++ {
+		done, err := f.Write(now, rng.Int63n(hot), bufpool.Borrowed(page("m", 128)), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	s := f.Stats()
+	if s.GCCopiedPages == 0 {
+		t.Fatal("churn never forced copies; enlarge the workload")
+	}
+	var sum int64
+	for _, n := range s.GCCopiesByPID {
+		sum += n
+	}
+	if sum != s.GCCopiedPages {
+		t.Fatalf("per-PID GC copies sum to %d, global counter says %d", sum, s.GCCopiedPages)
+	}
+	if s.GCCopiesByPID[1] == 0 {
+		t.Fatal("churning PID 1 was billed no copies")
+	}
+	// Returned map is a copy.
+	s.GCCopiesByPID[1] = -5
+	if f.Stats().GCCopiesByPID[1] < 0 {
+		t.Fatal("Stats leaked internal GCCopiesByPID map")
+	}
+}
+
+// A tenant cannot escape its lease: out-of-lease local streams map to the
+// device PID limit, and the device's own rejection fires.
+func TestLeaseEscapeRejectedByDevice(t *testing.T) {
+	f := newTestFTL(t, 8) // MaxPIDs defaults to 8 on the test geometry
+	a, err := NewPIDAllocator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Acquire("t0", 4) //nolint:errcheck // layout setup
+	l1, err := a.Acquire("t1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 0, bufpool.Borrowed(page("x", 128)), l1.PID(3)); err != nil {
+		t.Fatalf("in-lease stream rejected: %v", err)
+	}
+	if _, err := f.Write(0, 1, bufpool.Borrowed(page("x", 128)), l1.PID(4)); err == nil {
+		t.Fatal("out-of-lease local stream 4 accepted by the device")
+	}
+}

@@ -8,7 +8,7 @@ import (
 func BenchmarkZipfNext(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	zetan := zetaSum(1_000_000, zipfTheta)
-	g := newZipfGen(rng, 1_000_000, zetan)
+	g := newZipfGen(rng, 1_000_000, zipfTheta, zetan)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.next()

@@ -62,6 +62,9 @@ type Config struct {
 	ReadRatio float64
 	// Dist selects the key distribution.
 	Dist Distribution
+	// Theta is the zipfian skew constant, in (0, 1); 0 selects YCSB's
+	// default 0.99. Ignored for Uniform.
+	Theta float64
 	// Seed makes the workload reproducible.
 	Seed int64
 	// ValuePoolSize is how many distinct pre-generated values rotate
@@ -98,6 +101,41 @@ func YCSBA(ops, records int64) Config {
 		ReadRatio: 0.5,
 		Dist:      Zipfian,
 		Seed:      1,
+	}
+}
+
+// NoisyNeighbor returns the multi-tenant overwriter profile: a Zipf-heavy,
+// SET-only tenant hammering a hot key set, the workload that destroys a
+// co-located quiet tenant's WAF when placement streams are shared ("How to
+// Write to SSDs", Lee et al.). The distinct seed keeps it uncorrelated with
+// the steady tenants running beside it.
+func NoisyNeighbor(ops, keyRange int64) Config {
+	return Config{
+		Clients:   16,
+		Ops:       ops,
+		KeyRange:  keyRange,
+		KeySize:   8,
+		ValueSize: 4096,
+		ReadRatio: 0,
+		Dist:      Zipfian,
+		Theta:     zipfTheta,
+		Seed:      7,
+	}
+}
+
+// SteadyTenant returns the quiet co-located tenant profile: a moderate
+// uniform writer whose WAF stays at 1.00 whenever its lifetimes get their
+// own placement streams.
+func SteadyTenant(ops, keyRange int64) Config {
+	return Config{
+		Clients:   8,
+		Ops:       ops,
+		KeyRange:  keyRange,
+		KeySize:   8,
+		ValueSize: 4096,
+		ReadRatio: 0,
+		Dist:      Uniform,
+		Seed:      11,
 	}
 }
 
@@ -156,9 +194,13 @@ func Start(eng *sim.Engine, db *imdb.Engine, cfg Config) *Runner {
 	r.res.Start = eng.Now()
 	r.pending = cfg.Clients
 	pool := valuePool(cfg.ValuePoolSize, cfg.ValueSize, cfg.Seed)
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = zipfTheta
+	}
 	var zetan float64
 	if cfg.Dist == Zipfian {
-		zetan = zetaSum(uint64(cfg.KeyRange), zipfTheta)
+		zetan = zetaSum(uint64(cfg.KeyRange), theta)
 	}
 	for c := 0; c < cfg.Clients; c++ {
 		share := int64(0)
@@ -176,7 +218,7 @@ func Start(eng *sim.Engine, db *imdb.Engine, cfg Config) *Runner {
 			pool:   pool,
 		}
 		if cfg.Dist == Zipfian {
-			client.zipf = newZipfGen(client.rng, uint64(cfg.KeyRange), zetan)
+			client.zipf = newZipfGen(client.rng, uint64(cfg.KeyRange), theta, zetan)
 		}
 		name := fmt.Sprintf("client-%d", c)
 		if cfg.Ops == 0 {

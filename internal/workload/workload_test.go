@@ -132,7 +132,7 @@ func TestZipfHeadMass(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := uint64(1000)
 	zetan := zetaSum(n, zipfTheta)
-	g := newZipfGen(rng, n, zetan)
+	g := newZipfGen(rng, n, zipfTheta, zetan)
 	const draws = 50000
 	zeros := 0
 	for i := 0; i < draws; i++ {

@@ -30,9 +30,12 @@ func zetaSum(n uint64, theta float64) float64 {
 	return z
 }
 
-// newZipfGen builds a generator; zetan must be zetaSum(items, zipfTheta).
-func newZipfGen(rng *rand.Rand, items uint64, zetan float64) *zipfGen {
-	theta := zipfTheta
+// newZipfGen builds a generator with skew constant theta in (0, 1); zetan
+// must be zetaSum(items, theta). theta <= 0 selects YCSB's default 0.99.
+func newZipfGen(rng *rand.Rand, items uint64, theta, zetan float64) *zipfGen {
+	if theta <= 0 {
+		theta = zipfTheta
+	}
 	zeta2 := zetaSum(2, theta)
 	return &zipfGen{
 		rng:   rng,

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drawCounts samples the generator and tallies per-item frequencies.
+func drawCounts(seed int64, items uint64, theta float64, draws int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	g := newZipfGen(rng, items, theta, zetaSum(items, theta))
+	counts := make([]int, items+1) // +1: the u->1 boundary can return items
+	for i := 0; i < draws; i++ {
+		counts[g.next()]++
+	}
+	return counts
+}
+
+func TestZipfSeedDeterminism(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99} {
+		a := rand.New(rand.NewSource(42))
+		b := rand.New(rand.NewSource(42))
+		zetan := zetaSum(1000, theta)
+		ga := newZipfGen(a, 1000, theta, zetan)
+		gb := newZipfGen(b, 1000, theta, zetan)
+		for i := 0; i < 10000; i++ {
+			if x, y := ga.next(), gb.next(); x != y {
+				t.Fatalf("theta %v draw %d: %d != %d (same seed)", theta, i, x, y)
+			}
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	// The Gray et al. transform can return exactly `items` as u -> 1 (the
+	// client clamps to KeyRange-1); it must never exceed it.
+	for _, items := range []uint64{1, 2, 3, 1000} {
+		rng := rand.New(rand.NewSource(7))
+		g := newZipfGen(rng, items, zipfTheta, zetaSum(items, zipfTheta))
+		for i := 0; i < 20000; i++ {
+			if k := g.next(); k > items {
+				t.Fatalf("items=%d: draw %d out of range", items, k)
+			}
+		}
+	}
+}
+
+// Rank-frequency monotonicity: lower-ranked items must be drawn at least as
+// often as higher-ranked ones (within sampling noise, so compare with slack
+// across well-separated ranks).
+func TestZipfRankFrequencyMonotone(t *testing.T) {
+	const draws = 200000
+	for _, theta := range []float64{0.5, 0.8, 0.99} {
+		counts := drawCounts(3, 100, theta, draws)
+		ranks := []int{0, 1, 2, 4, 8, 16, 32, 64}
+		for i := 1; i < len(ranks); i++ {
+			lo, hi := counts[ranks[i]], counts[ranks[i-1]]
+			if float64(lo) > float64(hi)*1.15+50 {
+				t.Fatalf("theta %v: item %d drawn %d times, item %d only %d — not monotone",
+					theta, ranks[i], lo, ranks[i-1], hi)
+			}
+		}
+	}
+}
+
+// The empirical head frequencies must match the exact reference model
+// p(i) = (1/(i+1)^theta) / zeta(n, theta).
+func TestZipfMatchesReferenceModel(t *testing.T) {
+	const (
+		items = 50
+		draws = 400000
+	)
+	for _, theta := range []float64{0.6, 0.99} {
+		zetan := zetaSum(items, theta)
+		counts := drawCounts(17, items, theta, draws)
+		for i := 0; i < 10; i++ {
+			want := (1 / math.Pow(float64(i+1), theta)) / zetan
+			got := float64(counts[i]) / draws
+			if got < want*0.85 || got > want*1.15 {
+				t.Fatalf("theta %v: P(%d) = %.4f, reference model says %.4f", theta, i, got, want)
+			}
+		}
+	}
+}
+
+func TestZipfParameterEdgeCases(t *testing.T) {
+	// items = 1: every draw is the only item (or its clamped boundary).
+	counts := drawCounts(5, 1, zipfTheta, 5000)
+	if counts[0] == 0 {
+		t.Fatal("items=1 never drew item 0")
+	}
+	// theta <= 0 falls back to the YCSB default rather than exploding.
+	rng := rand.New(rand.NewSource(9))
+	g := newZipfGen(rng, 100, 0, zetaSum(100, zipfTheta))
+	for i := 0; i < 1000; i++ {
+		if k := g.next(); k > 100 {
+			t.Fatalf("default-theta draw %d out of range", k)
+		}
+	}
+	// Small theta approaches uniform: the head item's share must be far
+	// below its share under heavy skew.
+	light := drawCounts(13, 100, 0.1, 100000)
+	heavy := drawCounts(13, 100, 0.99, 100000)
+	if light[0] >= heavy[0] {
+		t.Fatalf("theta 0.1 head count %d >= theta 0.99 head count %d", light[0], heavy[0])
+	}
+}
+
+// Config.Theta must reach the generator: a heavier theta concentrates more
+// mass on the hottest keys than the default.
+func TestWorkloadThetaWiring(t *testing.T) {
+	cfg := Config{Dist: Zipfian, KeyRange: 1000, Theta: 0.5, Seed: 3}
+	theta := cfg.Theta
+	zetan := zetaSum(uint64(cfg.KeyRange), theta)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := newZipfGen(rng, uint64(cfg.KeyRange), theta, zetan)
+	zeros := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if g.next() == 0 {
+			zeros++
+		}
+	}
+	want := 1 / zetan
+	got := float64(zeros) / draws
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("theta 0.5: P(0) = %.4f, want ~%.4f", got, want)
+	}
+}
+
+func TestTenantProfiles(t *testing.T) {
+	n := NoisyNeighbor(1000, 256)
+	if n.Dist != Zipfian || n.ReadRatio != 0 || n.Theta <= 0 {
+		t.Fatalf("NoisyNeighbor profile = %+v", n)
+	}
+	s := SteadyTenant(1000, 4096)
+	if s.Dist != Uniform || s.ReadRatio != 0 {
+		t.Fatalf("SteadyTenant profile = %+v", s)
+	}
+	if n.Seed == s.Seed {
+		t.Fatal("noisy and steady tenants share a seed")
+	}
+}
